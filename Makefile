@@ -1,0 +1,46 @@
+# Convenience targets for the tradeoff reproduction.
+
+GO ?= go
+
+.PHONY: all build vet test test-short bench figures figures-fast report examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+	gofmt -l . | tee /dev/stderr | wc -l | grep -q '^0$$'
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every paper artifact into out/ (full scale; minutes).
+figures:
+	$(GO) run ./cmd/figures -print=false -out out
+
+# Same, at test scale (seconds).
+figures-fast:
+	$(GO) run ./cmd/figures -fast -print=false -out out
+
+# One markdown report of every artifact.
+report:
+	$(GO) run ./cmd/report -o REPORT.md
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/buswidth
+	$(GO) run ./examples/pipelined
+	$(GO) run ./examples/linesize
+	$(GO) run ./examples/stallfeatures
+	$(GO) run ./examples/designspace
+
+clean:
+	rm -rf out

@@ -1,0 +1,164 @@
+// Command cachesim runs the trace-driven cache and stall simulator on
+// a built-in workload model or a trace file, and reports the
+// application profile {E, R, W, α, hit ratio} of the paper's Table 1
+// plus, when a stalling feature is selected, the measured stalling
+// factor φ and the bus traffic.
+//
+// Usage:
+//
+//	cachesim [-program nasa7] [-refs 400000] [-seed 1]
+//	         [-trace file [-dinero]]
+//	         [-size 8192] [-line 32] [-assoc 2] [-write allocate|around]
+//	         [-feature FS|BL|BNL1|BNL2|BNL3|NB] [-beta 10] [-bus 4]
+//	         [-wbuf 0]
+//
+// Trace files use cmd/tracegen's text format (instr addr size R|W), or
+// the classic Dinero format (label hex-address) with -dinero.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tradeoff/internal/cache"
+	"tradeoff/internal/memory"
+	"tradeoff/internal/stall"
+	"tradeoff/internal/trace"
+)
+
+func main() {
+	var (
+		program = flag.String("program", "nasa7", "workload model: nasa7, swm256, wave5, ear, doduc, hydro2d")
+		tfile   = flag.String("trace", "", "replay a trace file instead of a workload model (tracegen format, or Dinero with -dinero)")
+		dinero  = flag.Bool("dinero", false, "treat -trace as classic Dinero format (label hex-address)")
+		refs    = flag.Int("refs", 400_000, "memory references to replay")
+		seed    = flag.Uint64("seed", 1, "trace seed")
+		size    = flag.Int("size", 8<<10, "cache size in bytes")
+		line    = flag.Int("line", 32, "line size in bytes")
+		assoc   = flag.Int("assoc", 2, "associativity (0 = fully associative)")
+		write   = flag.String("write", "allocate", "write-miss policy: allocate or around")
+		feature = flag.String("feature", "", "stalling feature to measure (empty = profile only)")
+		beta    = flag.Int64("beta", 10, "memory cycle time per bus transfer")
+		bus     = flag.Int("bus", 4, "bus width in bytes")
+		wdepth  = flag.Int("wbuf", 0, "write buffer depth (0 = none)")
+	)
+	flag.Parse()
+	if err := run(input{program: *program, traceFile: *tfile, dinero: *dinero},
+		*refs, *seed, *size, *line, *assoc, *write, *feature, *beta, *bus, *wdepth); err != nil {
+		fmt.Fprintln(os.Stderr, "cachesim:", err)
+		os.Exit(1)
+	}
+}
+
+// input selects the reference stream: a built-in workload model or a
+// trace file (native or Dinero format).
+type input struct {
+	program   string
+	traceFile string
+	dinero    bool
+}
+
+// load produces up to nrefs references from the selected input.
+func (in input) load(nrefs int, seed uint64) ([]trace.Ref, error) {
+	if in.traceFile == "" {
+		src, err := trace.NewProgram(in.program, seed)
+		if err != nil {
+			return nil, err
+		}
+		return trace.Collect(src, nrefs), nil
+	}
+	f, err := os.Open(in.traceFile)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var refs []trace.Ref
+	if in.dinero {
+		refs, err = trace.ParseDinero(f)
+	} else {
+		refs, err = trace.Parse(f)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(refs) > nrefs {
+		refs = refs[:nrefs]
+	}
+	return refs, nil
+}
+
+func (in input) name() string {
+	if in.traceFile != "" {
+		return in.traceFile
+	}
+	return in.program
+}
+
+func run(in input, nrefs int, seed uint64, size, line, assoc int, write, feature string, beta int64, bus, wdepth int) error {
+	var wp cache.WriteMissPolicy
+	switch write {
+	case "allocate":
+		wp = cache.WriteAllocate
+	case "around":
+		wp = cache.WriteAround
+	default:
+		return fmt.Errorf("unknown write policy %q", write)
+	}
+	ccfg := cache.Config{Size: size, LineSize: line, Assoc: assoc, WriteMiss: wp}
+	refs, err := in.load(nrefs, seed)
+	if err != nil {
+		return err
+	}
+
+	if feature == "" {
+		c, err := cache.New(ccfg)
+		if err != nil {
+			return err
+		}
+		p := cache.Measure(c, refs)
+		fmt.Printf("input:      %s (%d refs, %d instructions)\n", in.name(), p.Refs, p.E)
+		fmt.Printf("cache:      %d bytes, %dB lines, %d-way, %s\n", size, line, assoc, wp)
+		fmt.Printf("hit ratio:  %.4f\n", p.HitRatio)
+		fmt.Printf("R:          %d bytes (Λm via Eq.1 = %d)\n", p.R, p.Misses)
+		fmt.Printf("W:          %d write-around misses\n", p.W)
+		fmt.Printf("alpha:      %.3f (paper's analytic default: 0.5)\n", p.Alpha)
+		return nil
+	}
+
+	var feat stall.Feature
+	switch feature {
+	case "FS":
+		feat = stall.FS
+	case "BL":
+		feat = stall.BL
+	case "BNL1":
+		feat = stall.BNL1
+	case "BNL2":
+		feat = stall.BNL2
+	case "BNL3":
+		feat = stall.BNL3
+	case "NB":
+		feat = stall.NB
+	default:
+		return fmt.Errorf("unknown stalling feature %q", feature)
+	}
+	res, err := stall.Run(stall.Config{
+		Cache:            ccfg,
+		Memory:           memory.Config{BetaM: beta, BusWidth: bus},
+		Feature:          feat,
+		WriteBufferDepth: wdepth,
+	}, refs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("input:        %s (%d refs, %d instructions)\n", in.name(), res.Refs, res.E)
+	fmt.Printf("feature:      %s, beta_m=%d, D=%d, write buffer depth %d\n", feat, beta, bus, wdepth)
+	fmt.Printf("cycles:       %d (base %d)\n", res.Cycles, res.BaseCycles)
+	fmt.Printf("fill stall:   %d cycles over %d misses\n", res.FillStall, res.Misses)
+	fmt.Printf("flush stall:  %d cycles (hidden: %d)\n", res.FlushStall, res.HiddenFlush)
+	fmt.Printf("write stall:  %d cycles, buffer-full %d, conflicts %d\n", res.WriteStall, res.BufferFull, res.Conflict)
+	fmt.Printf("phi:          %.3f (%.1f%% of L/D = %g)\n", res.Phi, 100*res.PhiFraction, float64(line)/float64(bus))
+	fmt.Printf("bus traffic:  %d bytes (%.2f B/ref)\n", res.Traffic, float64(res.Traffic)/float64(res.Refs))
+	return nil
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+func TestRunProfileMode(t *testing.T) {
+	if err := run(input{program: "swm256"}, 20000, 1, 8<<10, 32, 2, "allocate", "", 10, 4, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunStallMode(t *testing.T) {
+	for _, f := range []string{"FS", "BL", "BNL1", "BNL2", "BNL3", "NB"} {
+		if err := run(input{program: "ear"}, 10000, 1, 8<<10, 32, 2, "around", f, 5, 4, 2); err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+	}
+}
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	if err := run(input{program: "nope"}, 100, 1, 8<<10, 32, 2, "allocate", "", 10, 4, 0); err == nil {
+		t.Fatal("unknown program accepted")
+	}
+	if err := run(input{program: "ear"}, 100, 1, 8<<10, 32, 2, "sideways", "", 10, 4, 0); err == nil {
+		t.Fatal("unknown write policy accepted")
+	}
+	if err := run(input{program: "ear"}, 100, 1, 8<<10, 32, 2, "allocate", "WARP", 10, 4, 0); err == nil {
+		t.Fatal("unknown feature accepted")
+	}
+	if err := run(input{program: "ear"}, 100, 1, 999, 32, 2, "allocate", "", 10, 4, 0); err == nil {
+		t.Fatal("invalid cache size accepted")
+	}
+}
+
+func TestRunTraceFile(t *testing.T) {
+	dir := t.TempDir()
+	native := dir + "/t.trace"
+	if err := os.WriteFile(native, []byte("0 0x1000 4 R\n3 0x1020 4 W\n7 0x1000 4 R\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(input{traceFile: native}, 100, 1, 8<<10, 32, 2, "allocate", "", 10, 4, 0); err != nil {
+		t.Fatal(err)
+	}
+	din := dir + "/t.din"
+	if err := os.WriteFile(din, []byte("0 1000\n1 1004\n2 400\n0 2000\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(input{traceFile: din, dinero: true}, 100, 1, 8<<10, 32, 2, "allocate", "BNL3", 10, 4, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(input{traceFile: dir + "/missing"}, 100, 1, 8<<10, 32, 2, "allocate", "", 10, 4, 0); err == nil {
+		t.Fatal("missing trace file accepted")
+	}
+	if err := run(input{traceFile: din}, 100, 1, 8<<10, 32, 2, "allocate", "", 10, 4, 0); err == nil {
+		t.Fatal("dinero file parsed as native format")
+	}
+}
+
+func TestInputTruncatesToRefs(t *testing.T) {
+	dir := t.TempDir()
+	p := dir + "/t.trace"
+	if err := os.WriteFile(p, []byte("0 0x0 4 R\n1 0x20 4 R\n2 0x40 4 R\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	refs, err := input{traceFile: p}.load(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != 2 {
+		t.Fatalf("loaded %d refs, want truncation to 2", len(refs))
+	}
+}

@@ -1,0 +1,99 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation (or a named subset) as ASCII renderings and CSV data.
+//
+// Usage:
+//
+//	figures [-out dir] [-experiment name] [-fast] [-seed n] [-print]
+//
+// Experiments are named after the paper artifact they reproduce
+// (table2, table3, figure1 ... figure6, example1, ranking, crossover,
+// limits); "all" runs everything. Outputs land in -out as
+// <name>.txt and <name>.csv.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"tradeoff/internal/experiments"
+)
+
+func main() {
+	var (
+		out   = flag.String("out", "out", "output directory for .txt and .csv artifacts")
+		name  = flag.String("experiment", "all", "experiment to run (see DESIGN.md §3), or 'all'")
+		fast  = flag.Bool("fast", false, "smaller traces and sparser sweeps")
+		seed  = flag.Uint64("seed", 0, "trace seed (0 = package default)")
+		print = flag.Bool("print", true, "print rendered artifacts to stdout")
+		list  = flag.Bool("list", false, "list experiments and exit")
+		svg   = flag.Bool("svg", true, "also write .svg renderings of charts")
+		html  = flag.Bool("html", true, "also write an index.html artifact browser")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.Registry() {
+			fmt.Printf("%-5s %s\n", e.ID, e.Name)
+		}
+		return
+	}
+	opts := outputs{dir: *out, print: *print, svg: *svg, html: *html}
+	if err := run(opts, *name, experiments.Options{Fast: *fast, Seed: *seed}); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+// outputs selects what run writes.
+type outputs struct {
+	dir   string
+	print bool
+	svg   bool
+	html  bool
+}
+
+func run(out outputs, name string, opts experiments.Options) error {
+	arts, err := experiments.Run(name, opts)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(out.dir, 0o755); err != nil {
+		return err
+	}
+	for _, a := range arts {
+		text := a.Render()
+		if out.print {
+			fmt.Printf("== %s (%s) ==\n%s\n", a.Name, a.ID, text)
+		}
+		if err := os.WriteFile(filepath.Join(out.dir, a.Name+".txt"), []byte(text), 0o644); err != nil {
+			return err
+		}
+		if err := a.SaveCSV(filepath.Join(out.dir, a.Name+".csv")); err != nil {
+			return err
+		}
+		if out.svg {
+			if svg := a.SVG(); svg != "" {
+				if err := os.WriteFile(filepath.Join(out.dir, a.Name+".svg"), []byte(svg), 0o644); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if out.html {
+		f, err := os.Create(filepath.Join(out.dir, "index.html"))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := experiments.WriteHTMLIndex(f, arts); err != nil {
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "figures: wrote %d artifacts to %s\n", len(arts), out.dir)
+	return nil
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tradeoff/internal/experiments"
+)
+
+func TestRunWritesArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(outputs{dir: dir, html: true}, "table2", experiments.Options{Fast: true}); err != nil {
+		t.Fatal(err)
+	}
+	txt, err := os.ReadFile(filepath.Join(dir, "table2.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(txt), "full stalling") {
+		t.Fatalf("table2.txt content wrong:\n%s", txt)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "table2.csv")); err != nil {
+		t.Fatal("table2.csv not written")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run(outputs{dir: t.TempDir()}, "bogus", experiments.Options{Fast: true}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunCreatesOutDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "nested", "out")
+	if err := run(outputs{dir: dir}, "limits", experiments.Options{Fast: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "limits.txt")); err != nil {
+		t.Fatal("nested out dir not created")
+	}
+}
+
+func TestRunWritesSVGAndHTML(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(outputs{dir: dir, svg: true, html: true}, "figure2", experiments.Options{Fast: true}); err != nil {
+		t.Fatal(err)
+	}
+	svg, err := os.ReadFile(filepath.Join(dir, "figure2_hr98.svg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(svg), "<polyline") {
+		t.Fatal("svg has no polylines")
+	}
+	html, err := os.ReadFile(filepath.Join(dir, "index.html"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(html), "<svg") || !strings.Contains(string(html), "E4") {
+		t.Fatal("index.html missing inline svg or experiment heading")
+	}
+}

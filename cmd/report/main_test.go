@@ -1,0 +1,48 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tradeoff/internal/experiments"
+)
+
+func TestRunWritesReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "REPORT.md")
+	if err := run(path, "limits", experiments.Options{Fast: true}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, want := range []string{"# Reproduction report", "## E12", "### limits", "```text"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run(filepath.Join(t.TempDir(), "r.md"), "bogus", experiments.Options{Fast: true}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunGroupsByID(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "REPORT.md")
+	if err := run(path, "figure6", experiments.Options{Fast: true}); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(path)
+	// figure6 yields several artifacts under one E8 heading.
+	if got := strings.Count(string(data), "\n## E8\n"); got != 1 {
+		t.Fatalf("E8 heading appears %d times, want 1", got)
+	}
+	if got := strings.Count(string(data), "### figure6"); got < 4 {
+		t.Fatalf("only %d figure6 artifacts in report", got)
+	}
+}

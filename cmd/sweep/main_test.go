@@ -1,0 +1,99 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeConfig(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "space.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunModelSweep(t *testing.T) {
+	cfg := writeConfig(t, exampleConfig)
+	out := filepath.Join(t.TempDir(), "designs.csv")
+	if err := run(cfg, out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if !strings.HasPrefix(lines[0], "cache_kb,line_bytes,bus_bits") {
+		t.Fatalf("header: %q", lines[0])
+	}
+	// 5 sizes × 3 lines × 2 buses; the 16B line with a 64-bit bus is
+	// exactly L = 2D and stays in: 30 designs.
+	if len(lines)-1 != 30 {
+		t.Fatalf("designs = %d, want 30", len(lines)-1)
+	}
+	pareto := 0
+	for _, l := range lines[1:] {
+		if strings.HasSuffix(l, ",true") {
+			pareto++
+		}
+	}
+	if pareto == 0 || pareto == len(lines)-1 {
+		t.Fatalf("pareto count %d of %d implausible", pareto, len(lines)-1)
+	}
+}
+
+func TestRunSimSweep(t *testing.T) {
+	cfg := writeConfig(t, `{
+		"cache_kb": [8, 32], "line_bytes": [32], "bus_bits": [32],
+		"latency_ns": 360, "transfer_ns": 60, "cpu_ns": 30,
+		"hit_source": "sim:zipf", "sim_refs": 30000
+	}`)
+	out := filepath.Join(t.TempDir(), "d.csv")
+	if err := run(cfg, out); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(out)
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines)-1 != 2 {
+		t.Fatalf("designs = %d, want 2", len(lines)-1)
+	}
+	// Bigger cache ⇒ higher hit ratio in column 4.
+	f := func(line string) string { return strings.Split(line, ",")[3] }
+	if f(lines[1]) >= f(lines[2]) {
+		t.Fatalf("hit ratios not increasing with size: %v vs %v", f(lines[1]), f(lines[2]))
+	}
+}
+
+func TestRunRejectsBadConfigs(t *testing.T) {
+	cases := []string{
+		`{`, // malformed JSON
+		`{"cache_kb": [], "line_bytes": [32], "bus_bits": [32], "latency_ns": 1, "transfer_ns": 1, "cpu_ns": 1}`,
+		`{"cache_kb": [8], "line_bytes": [32], "bus_bits": [32], "latency_ns": 0, "transfer_ns": 1, "cpu_ns": 1}`,
+		`{"cache_kb": [8], "line_bytes": [32], "bus_bits": [32], "latency_ns": 1, "transfer_ns": 1, "cpu_ns": 1, "hit_source": "psychic"}`,
+		`{"cache_kb": [8], "line_bytes": [16], "bus_bits": [256], "latency_ns": 1, "transfer_ns": 1, "cpu_ns": 1}`, // empty after 2D filter
+	}
+	for i, body := range cases {
+		cfg := writeConfig(t, body)
+		if err := run(cfg, filepath.Join(t.TempDir(), "x.csv")); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if err := run(filepath.Join(t.TempDir(), "missing.json"), "-"); err == nil {
+		t.Error("missing config accepted")
+	}
+}
+
+func TestRunSimUnknownWorkload(t *testing.T) {
+	cfg := writeConfig(t, `{
+		"cache_kb": [8], "line_bytes": [32], "bus_bits": [32],
+		"latency_ns": 1, "transfer_ns": 1, "cpu_ns": 1,
+		"hit_source": "sim:gcc"
+	}`)
+	if err := run(cfg, filepath.Join(t.TempDir(), "x.csv")); err == nil {
+		t.Fatal("unknown simulated workload accepted")
+	}
+}

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunWritesTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.txt")
+	if err := run("nasa7", 500, 1, path, true); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 500 {
+		t.Fatalf("trace has %d lines, want 500", len(lines))
+	}
+	fields := strings.Fields(lines[0])
+	if len(fields) != 4 {
+		t.Fatalf("line format wrong: %q", lines[0])
+	}
+	if fields[3] != "R" && fields[3] != "W" {
+		t.Fatalf("r/w marker wrong: %q", lines[0])
+	}
+}
+
+func TestRunUnknownProgram(t *testing.T) {
+	if err := run("nope", 10, 1, filepath.Join(t.TempDir(), "x"), false); err == nil {
+		t.Fatal("unknown program accepted")
+	}
+}
+
+func TestRunBadOutputPath(t *testing.T) {
+	if err := run("ear", 10, 1, filepath.Join(t.TempDir(), "no", "such", "dir", "x"), false); err == nil {
+		t.Fatal("bad output path accepted")
+	}
+}

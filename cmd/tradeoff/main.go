@@ -1,0 +1,90 @@
+// Command tradeoff prices a single architectural feature in cache hit
+// ratio at a chosen design point — the unified tradeoff methodology as
+// a calculator.
+//
+// Usage:
+//
+//	tradeoff -feature bus|stall|wbuf|pipe [-hr 0.95] [-alpha 0.5]
+//	         [-l 32] [-d 4] [-beta 10] [-phi 1] [-q 2]
+//
+// Examples:
+//
+//	tradeoff -feature bus -hr 0.98 -l 32 -beta 10
+//	    hit ratio a doubled 64-bit bus is worth over 32-bit at 98%
+//	tradeoff -feature pipe -q 2 -l 32 -beta 8
+//	    hit ratio a pipelined memory system (q=2) is worth
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"tradeoff/internal/core"
+)
+
+func main() {
+	var (
+		feature = flag.String("feature", "", "bus, stall, wbuf or pipe")
+		hr      = flag.Float64("hr", 0.95, "base system hit ratio")
+		alpha   = flag.Float64("alpha", 0.5, "cache line flush ratio")
+		l       = flag.Float64("l", 32, "cache line size in bytes")
+		d       = flag.Float64("d", 4, "external data-bus width in bytes")
+		beta    = flag.Float64("beta", 10, "memory cycle time per D-byte transfer (clocks)")
+		phi     = flag.Float64("phi", 1, "stalling factor for -feature stall (1..L/D)")
+		q       = flag.Float64("q", 2, "pipeline readiness interval for -feature pipe")
+	)
+	flag.Parse()
+
+	spec, err := parseFeature(*feature, *phi, *q)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tradeoff:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(os.Stdout, spec, *hr, *alpha, *l, *d, *beta, *q); err != nil {
+		fmt.Fprintln(os.Stderr, "tradeoff:", err)
+		os.Exit(1)
+	}
+}
+
+// run evaluates the tradeoff and writes the report to w.
+func run(w io.Writer, spec core.FeatureSpec, hr, alpha, l, d, beta, q float64) error {
+	tr, err := core.FeatureTradeoff(spec, hr, alpha, l, d, beta)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "feature:            %s\n", tr.Feature)
+	fmt.Fprintf(w, "design point:       L=%g D=%g beta_m=%g alpha=%g\n", l, d, beta, alpha)
+	fmt.Fprintf(w, "miss-count ratio r: %.4f\n", tr.R)
+	fmt.Fprintf(w, "base hit ratio:     %.4f (s = %.2f)\n", tr.BaseHR, tr.S)
+	fmt.Fprintf(w, "hit ratio traded:   %.4f (%.2f%%)\n", tr.DeltaHR, 100*tr.DeltaHR)
+	fmt.Fprintf(w, "equivalent hit:     %.4f\n", tr.NewHR)
+	if !tr.Valid {
+		fmt.Fprintln(w, "warning: HR2 <= 0 — outside the model's physical range (Eq. 6)")
+	}
+	if spec.Feature == core.FeaturePipelinedMemory {
+		if x, err := core.PipelineCrossover(q, l, d); err == nil {
+			fmt.Fprintf(w, "crossover vs bus:   beta_m >= %.2f\n", x)
+		}
+	}
+	return nil
+}
+
+func parseFeature(name string, phi, q float64) (core.FeatureSpec, error) {
+	switch name {
+	case "bus":
+		return core.FeatureSpec{Feature: core.FeatureDoubleBus}, nil
+	case "stall":
+		return core.FeatureSpec{Feature: core.FeaturePartialStall, Phi: phi}, nil
+	case "wbuf":
+		return core.FeatureSpec{Feature: core.FeatureWriteBuffers}, nil
+	case "pipe":
+		return core.FeatureSpec{Feature: core.FeaturePipelinedMemory, Q: q}, nil
+	case "":
+		return core.FeatureSpec{}, fmt.Errorf("missing -feature")
+	default:
+		return core.FeatureSpec{}, fmt.Errorf("unknown feature %q (want bus, stall, wbuf or pipe)", name)
+	}
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"tradeoff/internal/core"
+)
+
+func TestParseFeature(t *testing.T) {
+	cases := []struct {
+		name string
+		want core.Feature
+	}{
+		{"bus", core.FeatureDoubleBus},
+		{"stall", core.FeaturePartialStall},
+		{"wbuf", core.FeatureWriteBuffers},
+		{"pipe", core.FeaturePipelinedMemory},
+	}
+	for _, tc := range cases {
+		spec, err := parseFeature(tc.name, 2, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if spec.Feature != tc.want {
+			t.Fatalf("%s parsed to %v", tc.name, spec.Feature)
+		}
+	}
+	if spec, _ := parseFeature("stall", 3.5, 2); spec.Phi != 3.5 {
+		t.Fatalf("stall phi not threaded: %+v", spec)
+	}
+	if spec, _ := parseFeature("pipe", 0, 4); spec.Q != 4 {
+		t.Fatalf("pipe q not threaded: %+v", spec)
+	}
+	if _, err := parseFeature("", 0, 0); err == nil {
+		t.Fatal("empty feature accepted")
+	}
+	if _, err := parseFeature("warp", 0, 0); err == nil {
+		t.Fatal("unknown feature accepted")
+	}
+}
+
+func TestRunReport(t *testing.T) {
+	var b strings.Builder
+	spec := core.FeatureSpec{Feature: core.FeaturePipelinedMemory, Q: 2}
+	if err := run(&b, spec, 0.95, 0.5, 32, 4, 10, 2); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"pipelined memory", "miss-count ratio r: 3.4000", "crossover vs bus"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunInvalidWarning(t *testing.T) {
+	var b strings.Builder
+	// Base HR 0.5 with a huge r drives HR2 below zero: warning expected.
+	spec := core.FeatureSpec{Feature: core.FeaturePipelinedMemory, Q: 2}
+	if err := run(&b, spec, 0.5, 1.0, 128, 4, 40, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "warning") {
+		t.Fatalf("no validity warning:\n%s", b.String())
+	}
+}
+
+func TestRunError(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, core.FeatureSpec{Feature: core.FeatureDoubleBus}, 0.95, 0.5, 4, 4, 10, 2); err == nil {
+		t.Fatal("L < 2D accepted")
+	}
+}

@@ -1,0 +1,81 @@
+package tradeoff_test
+
+import (
+	"fmt"
+
+	"tradeoff"
+)
+
+// Price a doubled external data bus in cache hit ratio at a typical
+// design point: 32-byte lines, 32-bit bus, 10-cycle memory.
+func ExamplePrice() {
+	tr, err := tradeoff.Price(
+		tradeoff.Spec{Feature: tradeoff.DoubleBus},
+		tradeoff.DesignPoint{HitRatio: 0.95, Alpha: 0.5, L: 32, D: 4, BetaM: 10},
+	)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("r = %.4f\n", tr.R)
+	fmt.Printf("hit ratio traded = %.4f\n", tr.DeltaHR)
+	fmt.Printf("equivalent hit ratio = %.4f\n", tr.NewHR)
+	// Output:
+	// r = 2.0169
+	// hit ratio traded = 0.0508
+	// equivalent hit ratio = 0.8992
+}
+
+// The §4.1 design-limit identity: at L = 2D and βm = 2, doubling the
+// bus compensates a hit-ratio drop from HR to 2.5·HR − 1.5.
+func ExamplePrice_designLimit() {
+	tr, _ := tradeoff.Price(
+		tradeoff.Spec{Feature: tradeoff.DoubleBus},
+		tradeoff.DesignPoint{HitRatio: 0.95, Alpha: 0.5, L: 8, D: 4, BetaM: 2},
+	)
+	fmt.Printf("0.95 -> %.3f\n", tr.NewHR)
+	// Output:
+	// 0.95 -> 0.875
+}
+
+// Rank the four features of the unified comparison at one design
+// point (§5.3): pipelined memory wins beyond its crossover, then bus
+// doubling, write buffers, and the bus-not-locked cache.
+func ExampleRank() {
+	ranked, err := tradeoff.Rank(
+		tradeoff.DesignPoint{HitRatio: 0.95, Alpha: 0.5, L: 32, D: 4, BetaM: 10},
+		7.5, // measured BNL1 stalling factor
+		2,   // pipeline readiness interval q
+	)
+	if err != nil {
+		panic(err)
+	}
+	for _, tr := range ranked {
+		fmt.Printf("%-28s %.2f%%\n", tr.Feature, 100*tr.DeltaHR)
+	}
+	// Output:
+	// pipelined memory             12.00%
+	// doubling bus width           5.08%
+	// read-bypassing write buffers 2.53%
+	// partially-stalling cache     0.22%
+}
+
+// The pipelined-memory crossover of §5.3: for q = 2 and L/D = 8,
+// pipelining out-trades bus doubling once βm reaches ~4.7 cycles; for
+// L = 2D it never does.
+func ExamplePipelineCrossover() {
+	x, _ := tradeoff.PipelineCrossover(2, 32, 4)
+	fmt.Printf("L/D=8: beta_m >= %.2f\n", x)
+	never, _ := tradeoff.PipelineCrossover(2, 8, 4)
+	fmt.Printf("L/D=2: %v\n", never)
+	// Output:
+	// L/D=8: beta_m >= 4.67
+	// L/D=2: +Inf
+}
+
+// Eq. (9): a pipelined memory fills a 32-byte line through a 4-byte
+// bus in βm + q·(L/D−1) cycles instead of (L/D)·βm.
+func ExampleBetaP() {
+	fmt.Println(tradeoff.BetaP(10, 2, 32, 4))
+	// Output:
+	// 24
+}

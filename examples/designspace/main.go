@@ -1,0 +1,106 @@
+// Designspace: explore a microprocessor memory-system design space the
+// way §5.2 of the paper frames it — performance (mean memory delay)
+// against cost (chip area in register-bit equivalents and package
+// pins) — and print the Pareto-efficient designs.
+//
+// The sweep crosses cache size × line size × bus width on the
+// design-target miss-ratio surface, evaluates Eq. (2)-style delay at a
+// fixed memory technology, and keeps the designs no other design
+// dominates. Run with:
+//
+//	go run ./examples/designspace
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"tradeoff/internal/area"
+	"tradeoff/internal/core"
+	"tradeoff/internal/missratio"
+)
+
+type design struct {
+	cacheKB  int
+	line     int
+	busBits  int
+	delay    float64 // mean memory delay per reference (cycles)
+	areaRBE  float64
+	pins     int
+	hitRatio float64
+}
+
+func main() {
+	const (
+		latencyNS     = 360 // memory access latency
+		nsPerTransfer = 60  // one bus transfer, regardless of width (the paper's
+		//                     premise: βm is per D-byte transfer, so a wider bus
+		//                     moves more bytes per memory cycle)
+		cpuNS = 30 // processor cycle time: a 33 MHz part of the era
+	)
+	m := missratio.DefaultModel()
+
+	var designs []design
+	for _, kb := range []int{4, 8, 16, 32, 64} {
+		for _, line := range []int{16, 32, 64} {
+			for _, busBits := range []int{32, 64} {
+				d := busBits / 8
+				if line < 2*d {
+					continue
+				}
+				hr := 1 - m.MissRatio(kb<<10, line)
+				// Normalized fill model: c cycles latency + β per
+				// D-byte transfer.
+				c := 1 + float64(latencyNS)/cpuNS
+				beta := float64(nsPerTransfer) / cpuNS
+				delay := core.MeanDelayPerRef(hr, c, beta, float64(line), float64(d))
+				rbe, err := area.RBE(area.CacheGeometry{Size: kb << 10, LineSize: line, Assoc: 2})
+				if err != nil {
+					log.Fatal(err)
+				}
+				pins := area.Pins{DataBits: busBits, AddrBits: 32, Control: 40}
+				designs = append(designs, design{
+					cacheKB: kb, line: line, busBits: busBits,
+					delay: delay, areaRBE: rbe, pins: pins.Total(), hitRatio: hr,
+				})
+			}
+		}
+	}
+
+	pareto := paretoFront(designs)
+	sort.Slice(pareto, func(i, j int) bool { return pareto[i].delay < pareto[j].delay })
+
+	fmt.Printf("%d designs swept, %d Pareto-efficient (delay vs area vs pins):\n\n", len(designs), len(pareto))
+	fmt.Println("cache  line  bus    hit     delay/ref   area (rbe)  pins")
+	for _, d := range pareto {
+		fmt.Printf("%4dK  %3dB  %2d-bit %.4f  %8.3f  %10.0f  %4d\n",
+			d.cacheKB, d.line, d.busBits, d.hitRatio, d.delay, d.areaRBE, d.pins)
+	}
+
+	fmt.Println("\nReading: every design off this list is strictly worse on all three")
+	fmt.Println("axes than something on it. The unified methodology is what makes the")
+	fmt.Println("delay column comparable across bus widths and line sizes.")
+}
+
+// paretoFront keeps designs not dominated in (delay, area, pins).
+func paretoFront(ds []design) []design {
+	var out []design
+	for i, a := range ds {
+		dominated := false
+		for j, b := range ds {
+			if i == j {
+				continue
+			}
+			if b.delay <= a.delay && b.areaRBE <= a.areaRBE && b.pins <= a.pins &&
+				(b.delay < a.delay || b.areaRBE < a.areaRBE || b.pins < a.pins) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, a)
+		}
+	}
+	return out
+}

@@ -1,0 +1,82 @@
+// Linesize: pick the optimal cache line size for a memory system, and
+// see the Eq. (19) criterion agree with Smith's classic method.
+//
+// Reproduces the §5.4 study on one of Figure 6's design points and on
+// miss ratios measured by this repository's own cache simulator. Run:
+//
+//	go run ./examples/linesize
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tradeoff/internal/cache"
+	"tradeoff/internal/linesize"
+	"tradeoff/internal/missratio"
+	"tradeoff/internal/trace"
+)
+
+func main() {
+	lines := []int{8, 16, 32, 64, 128}
+
+	// Part 1: the design-target surface on Figure 6(a): a 16K cache,
+	// 32-bit bus, 360 ns latency + 15 ns/byte memory.
+	cfg := linesize.Config{CacheSize: 16 << 10, BusWidth: 4, LatencyNS: 360, NSPerByte: 15, Lines: lines}
+	m := missratio.DefaultModel()
+	fmt.Println("16K cache, D=4, memory 360ns + 15ns/byte (Figure 6a):")
+	fmt.Println("  beta   Smith's pick   Eq.19's pick   reduced delay of the pick (x1e4)")
+	for _, beta := range []float64{1, 2, 4, 8} {
+		smith, err := linesize.SmithOptimal(m, cfg, beta)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eq19, err := linesize.Eq19Optimal(m, cfg, beta)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pts, err := linesize.ReducedDelays(m, cfg, beta)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var rd float64
+		for _, p := range pts {
+			if p.Line == eq19 {
+				rd = p.Reduced
+			}
+		}
+		fmt.Printf("  %4g   %6dB        %6dB        %8.2f\n", beta, smith, eq19, 1e4*rd)
+	}
+
+	// Part 2: the same selection on miss ratios measured from the
+	// simulator — sweep line sizes on the hydro2d model at 8K.
+	fmt.Println("\n8K cache, miss ratios measured on the hydro2d model:")
+	refs := trace.Collect(trace.MustProgram(trace.Hydro2D, 7), 300_000)
+	tab := missratio.NewTable()
+	for _, ls := range lines {
+		c, err := cache.New(cache.Config{Size: 8 << 10, LineSize: ls, Assoc: 2})
+		if err != nil {
+			log.Fatal(err)
+		}
+		p := cache.Measure(c, refs)
+		tab.Set(8<<10, ls, 1-p.HitRatio)
+		fmt.Printf("  L=%3dB: miss ratio %.4f\n", ls, 1-p.HitRatio)
+	}
+	simCfg := linesize.Config{CacheSize: 8 << 10, BusWidth: 8, LatencyNS: 360, NSPerByte: 15, Lines: lines}
+	fmt.Println("  beta   optimal line (Smith = Eq.19)")
+	for _, beta := range []float64{1, 2, 4, 8} {
+		smith, err := linesize.SmithOptimal(tab, simCfg, beta)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eq19, err := linesize.Eq19Optimal(tab, simCfg, beta)
+		if err != nil {
+			log.Fatal(err)
+		}
+		agree := "AGREE"
+		if smith != eq19 {
+			agree = "DISAGREE"
+		}
+		fmt.Printf("  %4g   %dB (%s)\n", beta, eq19, agree)
+	}
+}

@@ -1,0 +1,54 @@
+// Quickstart: price one architectural feature in cache hit ratio.
+//
+// The unified tradeoff methodology answers questions like: "my cache
+// hits 95% of the time — how much hit ratio (i.e. how much cache) is a
+// 64-bit external bus worth over a 32-bit one?" Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tradeoff/internal/core"
+)
+
+func main() {
+	const (
+		baseHR = 0.95 // hit ratio of the current design
+		alpha  = 0.5  // half the replaced lines are dirty (the paper's default)
+		l      = 32.0 // 32-byte cache lines
+		d      = 4.0  // 32-bit external data bus
+		betaM  = 10.0 // a memory cycle moves D bytes in 10 CPU clocks
+	)
+
+	// How much hit ratio does each feature buy at this design point?
+	specs := []core.FeatureSpec{
+		{Feature: core.FeatureDoubleBus},
+		{Feature: core.FeatureWriteBuffers},
+		{Feature: core.FeaturePipelinedMemory, Q: 2},
+		{Feature: core.FeaturePartialStall, Phi: 7.5}, // a measured BNL1 factor
+	}
+	fmt.Printf("design point: L=%g B lines, D=%g B bus, beta_m=%g clocks, HR=%.0f%%\n\n", l, d, betaM, 100*baseHR)
+	for _, spec := range specs {
+		tr, err := core.FeatureTradeoff(spec, baseHR, alpha, l, d, betaM)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-30s worth %5.2f%% hit ratio (r = %.3f): a %.1f%% cache matches the base %.0f%%\n",
+			tr.Feature, 100*tr.DeltaHR, tr.R, 100*tr.NewHR, 100*baseHR)
+	}
+
+	// The headline identity of §4.1: doubling the bus lets a blocking
+	// cache drop from HR to between 2HR−1 and 2.5HR−1.5.
+	fmt.Println()
+	for _, betaM := range []float64{2, 1e6} {
+		r, err := core.MissRatioOfCaches(core.FeatureSpec{Feature: core.FeatureDoubleBus}, alpha, 8, 4, betaM)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("L=2D, beta_m=%-7g: doubling the bus compensates HR -> %.4g*HR - %.4g\n",
+			betaM, r, r-1)
+	}
+}

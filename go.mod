@@ -1,0 +1,3 @@
+module tradeoff
+
+go 1.22

@@ -1,0 +1,163 @@
+package bus
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewArbiterValidation(t *testing.T) {
+	if _, err := NewArbiter(0); err == nil {
+		t.Fatal("zero masters accepted")
+	}
+	if _, err := NewArbiter(4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScheduleSingleMaster(t *testing.T) {
+	a, _ := NewArbiter(1)
+	grants, err := a.Schedule([]Request{
+		{Master: 0, At: 0, Dur: 10},
+		{Master: 0, At: 5, Dur: 10}, // arrives while the first occupies the bus
+		{Master: 0, At: 100, Dur: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grants[0].Start != 0 || grants[0].End != 10 {
+		t.Fatalf("grant 0: %+v", grants[0])
+	}
+	if grants[1].Start != 10 || grants[1].Wait() != 5 {
+		t.Fatalf("grant 1: %+v", grants[1])
+	}
+	if grants[2].Start != 100 || grants[2].Wait() != 0 {
+		t.Fatalf("grant 2: %+v", grants[2])
+	}
+}
+
+func TestScheduleRoundRobinTieBreak(t *testing.T) {
+	a, _ := NewArbiter(3)
+	// All three ready at cycle 0: round-robin from master 0.
+	grants, err := a.Schedule([]Request{
+		{Master: 2, At: 0, Dur: 5},
+		{Master: 0, At: 0, Dur: 5},
+		{Master: 1, At: 0, Dur: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := []int{grants[0].Master, grants[1].Master, grants[2].Master}
+	if order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("grant order %v, want round-robin 0,1,2", order)
+	}
+}
+
+func TestScheduleRejectsBadRequests(t *testing.T) {
+	a, _ := NewArbiter(2)
+	if _, err := a.Schedule([]Request{{Master: 5, At: 0, Dur: 1}}); err == nil {
+		t.Fatal("out-of-range master accepted")
+	}
+	if _, err := a.Schedule([]Request{{Master: 0, At: 0, Dur: 0}}); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+}
+
+func TestScheduleNoOverlapProperty(t *testing.T) {
+	// Property: grants never overlap, never start before their request
+	// is ready, and every request gets exactly one grant.
+	f := func(raw []uint16) bool {
+		a, _ := NewArbiter(4)
+		reqs := make([]Request, 0, len(raw))
+		for i, v := range raw {
+			reqs = append(reqs, Request{
+				Master: i % 4,
+				At:     int64(v % 500),
+				Dur:    int64(v%7) + 1,
+			})
+		}
+		grants, err := a.Schedule(reqs)
+		if err != nil || len(grants) != len(reqs) {
+			return false
+		}
+		var lastEnd int64
+		for _, g := range grants {
+			if g.Start < g.At || g.Start < lastEnd || g.End != g.Start+g.Dur {
+				return false
+			}
+			lastEnd = g.End
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStats(t *testing.T) {
+	a, _ := NewArbiter(2)
+	if _, err := a.Schedule([]Request{
+		{Master: 0, At: 0, Dur: 10},
+		{Master: 1, At: 0, Dur: 10},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s := a.Stats()
+	if s.Grants != 2 || s.BusyCycles != 20 {
+		t.Fatalf("stats %+v", s)
+	}
+	if s.MeanWait != 5 { // second waited 10, first 0
+		t.Fatalf("mean wait %v, want 5", s.MeanWait)
+	}
+	if s.Utilization != 1 {
+		t.Fatalf("utilization %v, want 1 (back-to-back)", s.Utilization)
+	}
+}
+
+func TestContentionInflatesBetaM(t *testing.T) {
+	single, err := MeasureContention(1, 10, 8, 400, 2000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crowd, err := MeasureContention(8, 10, 8, 400, 2000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.EffBetaM > 10.5 {
+		t.Fatalf("single master effective βm %.2f, want ≈ nominal 10", single.EffBetaM)
+	}
+	if crowd.EffBetaM <= single.EffBetaM {
+		t.Fatalf("8 masters effective βm %.2f not above single %.2f", crowd.EffBetaM, single.EffBetaM)
+	}
+	if crowd.Utilization <= single.Utilization {
+		t.Fatal("more masters did not raise utilization")
+	}
+}
+
+func TestContentionMonotoneInMasters(t *testing.T) {
+	prev := 0.0
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		r, err := MeasureContention(n, 10, 8, 600, 1000, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.EffBetaM < prev-0.2 { // small sampling tolerance
+			t.Fatalf("effective βm fell at n=%d: %.2f after %.2f", n, r.EffBetaM, prev)
+		}
+		prev = r.EffBetaM
+	}
+}
+
+func TestMeasureContentionValidation(t *testing.T) {
+	if _, err := MeasureContention(0, 10, 8, 100, 10, 1); err == nil {
+		t.Fatal("zero masters accepted")
+	}
+	if _, err := MeasureContention(2, 10, 0, 100, 10, 1); err == nil {
+		t.Fatal("zero chunks accepted")
+	}
+	if _, err := MeasureContention(2, 10, 8, 0.5, 10, 1); err == nil {
+		t.Fatal("sub-cycle inter-arrival accepted")
+	}
+	if _, err := MeasureContention(2, 10, 8, 100, 0, 1); err == nil {
+		t.Fatal("zero misses accepted")
+	}
+}

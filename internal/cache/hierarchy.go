@@ -1,0 +1,116 @@
+package cache
+
+import "fmt"
+
+// Hierarchy is a two-level cache: an on-chip L1 backed by a (typically
+// off-chip) L2. L1 misses probe the L2; only L2 misses reach memory.
+// The 1994 methodology predates ubiquitous L2s, but the mean-memory-
+// delay currency extends to them directly (see core.TwoLevelDelay);
+// this simulator supplies the measured hit ratios that model needs.
+//
+// Inclusion is not enforced (the common board-level L2 of the era was
+// non-inclusive); L1 writebacks are installed into the L2.
+type Hierarchy struct {
+	l1, l2 *Cache
+	stats  HierarchyStats
+}
+
+// HierarchyStats counts the two-level structure's events.
+type HierarchyStats struct {
+	Accesses  uint64
+	L1Hits    uint64
+	L2Hits    uint64 // L1 misses that hit in L2
+	MemFills  uint64 // L1 misses that missed L2 too
+	L1Flushes uint64 // dirty L1 victims (installed into L2)
+	L2Flushes uint64 // dirty L2 victims (written to memory)
+}
+
+// L1HitRatio returns L1 hits over accesses.
+func (s HierarchyStats) L1HitRatio() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.L1Hits) / float64(s.Accesses)
+}
+
+// L2LocalHitRatio returns the L2's hit ratio over the L1 miss stream.
+func (s HierarchyStats) L2LocalHitRatio() float64 {
+	probes := s.L2Hits + s.MemFills
+	if probes == 0 {
+		return 0
+	}
+	return float64(s.L2Hits) / float64(probes)
+}
+
+// GlobalHitRatio returns the fraction of accesses served without
+// touching memory.
+func (s HierarchyStats) GlobalHitRatio() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.L1Hits+s.L2Hits) / float64(s.Accesses)
+}
+
+// NewHierarchy builds a two-level cache. The L2 line size must be at
+// least the L1's (whole L1 lines must fit L2 lines).
+func NewHierarchy(l1cfg, l2cfg Config) (*Hierarchy, error) {
+	if l2cfg.LineSize < l1cfg.LineSize {
+		return nil, fmt.Errorf("cache: L2 line %d smaller than L1 line %d", l2cfg.LineSize, l1cfg.LineSize)
+	}
+	if l2cfg.Size < l1cfg.Size {
+		return nil, fmt.Errorf("cache: L2 size %d smaller than L1 size %d", l2cfg.Size, l1cfg.Size)
+	}
+	l1, err := New(l1cfg)
+	if err != nil {
+		return nil, fmt.Errorf("L1: %w", err)
+	}
+	l2, err := New(l2cfg)
+	if err != nil {
+		return nil, fmt.Errorf("L2: %w", err)
+	}
+	return &Hierarchy{l1: l1, l2: l2}, nil
+}
+
+// L1 returns the first-level cache.
+func (h *Hierarchy) L1() *Cache { return h.l1 }
+
+// L2 returns the second-level cache.
+func (h *Hierarchy) L2() *Cache { return h.l2 }
+
+// Stats returns the hierarchy's counters.
+func (h *Hierarchy) Stats() HierarchyStats { return h.stats }
+
+// Access performs one reference through both levels.
+func (h *Hierarchy) Access(addr uint64, write bool) {
+	h.stats.Accesses++
+	out := h.l1.Access(addr, write)
+	if out.Hit {
+		h.stats.L1Hits++
+		return
+	}
+	if out.Writeback {
+		// Dirty L1 victim: install into L2 (write-allocate there).
+		h.stats.L1Flushes++
+		victimAddr := out.EvictedLine * uint64(h.l1.Config().LineSize)
+		if wb := h.l2.Access(victimAddr, true); wb.Writeback {
+			h.stats.L2Flushes++
+		}
+	}
+	if out.Bypassed {
+		// Write-around store at L1 goes to L2 (and beyond) as a write.
+		if wb := h.l2.Access(addr, true); wb.Writeback {
+			h.stats.L2Flushes++
+		}
+		return
+	}
+	// L1 fill: probe L2.
+	l2out := h.l2.Access(addr, write)
+	if l2out.Hit {
+		h.stats.L2Hits++
+		return
+	}
+	h.stats.MemFills++
+	if l2out.Writeback {
+		h.stats.L2Flushes++
+	}
+}

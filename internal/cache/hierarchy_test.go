@@ -1,0 +1,143 @@
+package cache
+
+import (
+	"testing"
+
+	"tradeoff/internal/trace"
+)
+
+func h8_64() *Hierarchy {
+	h, err := NewHierarchy(
+		Config{Size: 8 << 10, LineSize: 32, Assoc: 2},
+		Config{Size: 64 << 10, LineSize: 32, Assoc: 4},
+	)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+func TestNewHierarchyValidation(t *testing.T) {
+	if _, err := NewHierarchy(
+		Config{Size: 8 << 10, LineSize: 64, Assoc: 2},
+		Config{Size: 64 << 10, LineSize: 32, Assoc: 4}); err == nil {
+		t.Fatal("L2 line smaller than L1 accepted")
+	}
+	if _, err := NewHierarchy(
+		Config{Size: 64 << 10, LineSize: 32, Assoc: 2},
+		Config{Size: 8 << 10, LineSize: 32, Assoc: 4}); err == nil {
+		t.Fatal("L2 smaller than L1 accepted")
+	}
+	if _, err := NewHierarchy(Config{Size: 3}, Config{Size: 64 << 10, LineSize: 32, Assoc: 4}); err == nil {
+		t.Fatal("bad L1 accepted")
+	}
+	if _, err := NewHierarchy(Config{Size: 1 << 10, LineSize: 32, Assoc: 2}, Config{Size: 2 << 10, LineSize: 32, Assoc: 3}); err == nil {
+		t.Fatal("bad L2 accepted")
+	}
+}
+
+func TestHierarchyBasicFlow(t *testing.T) {
+	h := h8_64()
+	h.Access(0x1000, false) // cold: misses both, fills both
+	s := h.Stats()
+	if s.MemFills != 1 || s.L1Hits != 0 || s.L2Hits != 0 {
+		t.Fatalf("cold access stats %+v", s)
+	}
+	h.Access(0x1000, false) // L1 hit
+	if got := h.Stats().L1Hits; got != 1 {
+		t.Fatalf("L1 hits = %d, want 1", got)
+	}
+}
+
+func TestHierarchyL2CatchesL1Conflicts(t *testing.T) {
+	// Two addresses that conflict in the small L1 but coexist in the
+	// bigger L2: after warm-up, re-references are L2 hits, not memory
+	// fills. Use a tiny direct-mapped L1 to force the conflict.
+	h, err := NewHierarchy(
+		Config{Size: 64, LineSize: 32, Assoc: 1},
+		Config{Size: 4 << 10, LineSize: 32, Assoc: 4},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Access(0, false)
+	h.Access(64, false) // evicts 0 from L1; both now in L2
+	h.Access(0, false)  // L1 miss, L2 hit
+	s := h.Stats()
+	if s.L2Hits != 1 {
+		t.Fatalf("L2 hits = %d, want 1: %+v", s.L2Hits, s)
+	}
+	if s.MemFills != 2 {
+		t.Fatalf("memory fills = %d, want 2 cold fills only", s.MemFills)
+	}
+}
+
+func TestHierarchyDirtyVictimInstalledInL2(t *testing.T) {
+	h, err := NewHierarchy(
+		Config{Size: 64, LineSize: 32, Assoc: 1},
+		Config{Size: 4 << 10, LineSize: 32, Assoc: 4},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Access(0, true)   // dirty line 0 in L1
+	h.Access(64, false) // evicts dirty 0 → installed in L2
+	if got := h.Stats().L1Flushes; got != 1 {
+		t.Fatalf("L1 flushes = %d, want 1", got)
+	}
+	if !h.L2().Dirty(0) {
+		t.Fatal("L1 victim not dirty in L2")
+	}
+	// Re-reading 0 must hit L2, with the data (dirtiness) preserved.
+	h.Access(0, false)
+	if got := h.Stats().L2Hits; got != 1 {
+		t.Fatalf("L2 hits = %d, want 1", got)
+	}
+}
+
+func TestHierarchyRatios(t *testing.T) {
+	h := h8_64()
+	refs := trace.Collect(trace.ZipfReuse(trace.ZipfReuseConfig{
+		Seed: 3, Lines: 65536, Theta: 1.5, WriteFrac: 0.3}), 200000)
+	for _, r := range refs {
+		h.Access(r.Addr, r.Write)
+	}
+	s := h.Stats()
+	if s.L1HitRatio() < 0.85 || s.L1HitRatio() > 0.97 {
+		t.Fatalf("L1 hit ratio %.3f out of expected band", s.L1HitRatio())
+	}
+	if s.L2LocalHitRatio() <= 0.3 {
+		t.Fatalf("L2 local hit ratio %.3f too low to be useful", s.L2LocalHitRatio())
+	}
+	if g := s.GlobalHitRatio(); g <= s.L1HitRatio() {
+		t.Fatalf("global hit ratio %.3f not above L1's %.3f", g, s.L1HitRatio())
+	}
+	// Conservation: every access is exactly one of the three outcomes.
+	if s.L1Hits+s.L2Hits+s.MemFills != s.Accesses {
+		t.Fatalf("outcome counts do not add up: %+v", s)
+	}
+}
+
+func TestHierarchyStatsEmpty(t *testing.T) {
+	var s HierarchyStats
+	if s.L1HitRatio() != 0 || s.L2LocalHitRatio() != 0 || s.GlobalHitRatio() != 0 {
+		t.Fatal("empty hierarchy ratios non-zero")
+	}
+}
+
+func TestHierarchyWriteAroundL1(t *testing.T) {
+	h, err := NewHierarchy(
+		Config{Size: 64, LineSize: 32, Assoc: 1, WriteMiss: WriteAround},
+		Config{Size: 4 << 10, LineSize: 32, Assoc: 4},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Access(0x100, true) // L1 write-around: goes to L2 as a write
+	if h.L1().Contains(0x100) {
+		t.Fatal("write-around allocated in L1")
+	}
+	if !h.L2().Contains(0x100) {
+		t.Fatal("write-around store not installed in L2")
+	}
+}

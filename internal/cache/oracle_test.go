@@ -1,0 +1,145 @@
+package cache
+
+import (
+	"tradeoff/internal/trace"
+
+	"testing"
+	"testing/quick"
+)
+
+// oracle is an independent, obviously-correct reference model of a
+// set-associative LRU write-back cache, used to property-test the
+// production simulator. It trades efficiency for clarity: sets are
+// slices ordered most-recently-used first.
+type oracle struct {
+	lineSize int
+	sets     [][]oracleLine
+	assoc    int
+}
+
+type oracleLine struct {
+	line  uint64
+	dirty bool
+}
+
+func newOracle(size, lineSize, assoc int) *oracle {
+	lines := size / lineSize
+	if assoc == 0 {
+		assoc = lines
+	}
+	return &oracle{
+		lineSize: lineSize,
+		sets:     make([][]oracleLine, lines/assoc),
+		assoc:    assoc,
+	}
+}
+
+// access performs one reference and reports (hit, writeback).
+func (o *oracle) access(addr uint64, write bool) (hit, writeback bool) {
+	line := addr / uint64(o.lineSize)
+	set := int(line % uint64(len(o.sets)))
+	s := o.sets[set]
+	for i := range s {
+		if s[i].line == line {
+			entry := s[i]
+			if write {
+				entry.dirty = true
+			}
+			// Move to front (most recently used).
+			copy(s[1:i+1], s[:i])
+			s[0] = entry
+			return true, false
+		}
+	}
+	// Miss: allocate at front, evicting the LRU tail if full.
+	entry := oracleLine{line: line, dirty: write}
+	if len(s) < o.assoc {
+		s = append([]oracleLine{entry}, s...)
+	} else {
+		writeback = s[len(s)-1].dirty
+		copy(s[1:], s[:len(s)-1])
+		s[0] = entry
+	}
+	o.sets[set] = s
+	return false, writeback
+}
+
+func (o *oracle) contains(addr uint64) bool {
+	line := addr / uint64(o.lineSize)
+	set := int(line % uint64(len(o.sets)))
+	for _, e := range o.sets[set] {
+		if e.line == line {
+			return true
+		}
+	}
+	return false
+}
+
+// TestCacheMatchesOracle replays random reference sequences through
+// both the production cache and the oracle, demanding identical hit,
+// writeback and residency behaviour at every step.
+func TestCacheMatchesOracle(t *testing.T) {
+	geoms := []Config{
+		{Size: 512, LineSize: 32, Assoc: 1},
+		{Size: 512, LineSize: 32, Assoc: 2},
+		{Size: 1024, LineSize: 16, Assoc: 4},
+		{Size: 256, LineSize: 32, Assoc: 0}, // fully associative
+	}
+	for _, cfg := range geoms {
+		cfg := cfg
+		f := func(addrs []uint16, writes []bool) bool {
+			c := MustNew(cfg)
+			o := newOracle(cfg.Size, cfg.LineSize, cfg.Assoc)
+			for i, a := range addrs {
+				w := i < len(writes) && writes[i]
+				got := c.Access(uint64(a), w)
+				hit, wb := o.access(uint64(a), w)
+				if got.Hit != hit || got.Writeback != wb {
+					return false
+				}
+				if c.Contains(uint64(a)) != o.contains(uint64(a)) {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("config %+v: %v", cfg, err)
+		}
+	}
+}
+
+// TestCacheMatchesOracleOnPrograms runs the oracle comparison over
+// real workload-model traces, where set pressure and reuse patterns
+// differ from uniform-random addresses.
+func TestCacheMatchesOracleOnPrograms(t *testing.T) {
+	cfg := Config{Size: 2 << 10, LineSize: 32, Assoc: 2}
+	c := MustNew(cfg)
+	o := newOracle(cfg.Size, cfg.LineSize, cfg.Assoc)
+	refs := collectProgram(t, 40000)
+	for i, r := range refs {
+		got := c.Access(r.addr, r.write)
+		hit, wb := o.access(r.addr, r.write)
+		if got.Hit != hit || got.Writeback != wb {
+			t.Fatalf("ref %d (%#x write=%v): cache (hit=%v wb=%v) vs oracle (hit=%v wb=%v)",
+				i, r.addr, r.write, got.Hit, got.Writeback, hit, wb)
+		}
+	}
+}
+
+type simpleRef struct {
+	addr  uint64
+	write bool
+}
+
+// collectProgram grabs a workload-model trace in the oracle's reduced
+// reference form.
+func collectProgram(t *testing.T, n int) []simpleRef {
+	t.Helper()
+	full := trace.Collect(trace.MustProgram(trace.Wave5, 17), n)
+	refs := make([]simpleRef, len(full))
+	for i, r := range full {
+		refs[i] = simpleRef{addr: r.Addr, write: r.Write}
+	}
+	return refs
+}

@@ -1,0 +1,91 @@
+package cache
+
+import (
+	"fmt"
+
+	"tradeoff/internal/trace"
+)
+
+// AppProfile is the application characterization {E, R, W, α} of the
+// paper's Table 1, as measured by running a trace through a cache. It is
+// the bridge between the simulation substrate and the analytic model in
+// internal/core.
+type AppProfile struct {
+	E        uint64  // instructions executed
+	R        uint64  // data bytes read in full bus width on read misses (includes write-miss fetches under write-allocate)
+	W        uint64  // write-around miss stores using the external bus
+	Alpha    float64 // flush ratio: dirty bytes copied back / R
+	HitRatio float64 // data-cache hit ratio over the run
+	Misses   uint64  // Λm, load/store instructions that miss
+	Refs     uint64  // total load/store references
+}
+
+// Measure replays refs through c and derives the paper's application
+// parameters. The final instruction count E is taken from the last
+// reference's instruction index. The cache is not reset first, so
+// callers can warm it up beforehand and ResetStats to exclude warm-up.
+func Measure(c *Cache, refs []trace.Ref) AppProfile {
+	for _, r := range refs {
+		c.Access(r.Addr, r.Write)
+	}
+	s := c.Stats()
+	var p AppProfile
+	if len(refs) > 0 {
+		p.E = refs[len(refs)-1].Instr + 1
+	}
+	L := uint64(c.Config().LineSize)
+	p.R = s.Fills * L
+	p.W = s.Bypasses
+	p.Alpha = s.FlushRatio()
+	p.HitRatio = s.HitRatio()
+	p.Misses = s.Misses()
+	p.Refs = s.Accesses()
+	return p
+}
+
+// MeasureSource replays up to n references from src. See Measure.
+func MeasureSource(c *Cache, src trace.Source, n int) AppProfile {
+	return Measure(c, trace.Collect(src, n))
+}
+
+// SweepPoint is one (config, result) pair from a parameter sweep.
+type SweepPoint struct {
+	Config  Config
+	Profile AppProfile
+}
+
+// SweepLineSizes replays the same trace through caches that differ only
+// in line size and returns one point per size. It is the data source for
+// line-size/hit-ratio studies (§5.4 of the paper): given a fixed cache
+// size, larger lines typically raise the hit ratio up to a pollution
+// point.
+func SweepLineSizes(base Config, lineSizes []int, refs []trace.Ref) ([]SweepPoint, error) {
+	points := make([]SweepPoint, 0, len(lineSizes))
+	for _, ls := range lineSizes {
+		cfg := base
+		cfg.LineSize = ls
+		c, err := New(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("line size %d: %w", ls, err)
+		}
+		points = append(points, SweepPoint{Config: cfg, Profile: Measure(c, refs)})
+	}
+	return points, nil
+}
+
+// SweepSizes replays the same trace through caches that differ only in
+// total capacity and returns one point per size. It supports Example 1
+// style cache-size/hit-ratio relationships.
+func SweepSizes(base Config, sizes []int, refs []trace.Ref) ([]SweepPoint, error) {
+	points := make([]SweepPoint, 0, len(sizes))
+	for _, sz := range sizes {
+		cfg := base
+		cfg.Size = sz
+		c, err := New(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("cache size %d: %w", sz, err)
+		}
+		points = append(points, SweepPoint{Config: cfg, Profile: Measure(c, refs)})
+	}
+	return points, nil
+}

@@ -1,0 +1,169 @@
+package cache
+
+import "fmt"
+
+// SectorCache implements sector (sub-block) placement: one address tag
+// covers a whole sector, but data validity is tracked per sub-block
+// and misses fetch only the referenced sub-block. Alpert & Flynn (the
+// paper's reference [6]) advocate large lines because they amortize
+// tag storage; sector caches get that amortization without the large
+// fill traffic — at the cost of giving up the spatial-prefetch effect
+// whole-line fills provide. The sector experiment (E27) measures all
+// three sides.
+type SectorCache struct {
+	sectorSize int // bytes per sector (one tag)
+	subSize    int // bytes per sub-block (one valid+dirty bit)
+	subsPer    int
+	sets       [][]sector
+	setLo      uint64
+	clock      uint64
+	stats      SectorStats
+}
+
+type sector struct {
+	tag   uint64
+	valid bool
+	stamp uint64
+	sub   []subBlock
+}
+
+type subBlock struct {
+	valid bool
+	dirty bool
+}
+
+// SectorStats counts the sector cache's events.
+type SectorStats struct {
+	Accesses   uint64
+	Hits       uint64 // tag and sub-block both present
+	SubMisses  uint64 // tag present, sub-block absent (partial fill)
+	SectorMiss uint64 // tag absent (sector replaced, one sub-block filled)
+	SubFills   uint64 // sub-blocks fetched from memory
+	SubFlushes uint64 // dirty sub-blocks written back
+}
+
+// HitRatio returns hits over accesses.
+func (s SectorStats) HitRatio() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}
+
+// Traffic returns bus traffic in bytes: sub-block fills plus dirty
+// sub-block writebacks, each subSize bytes.
+func (s SectorStats) Traffic(subSize int) uint64 {
+	return (s.SubFills + s.SubFlushes) * uint64(subSize)
+}
+
+// NewSector builds a sector cache of size bytes with sectorSize-byte
+// sectors divided into subSize-byte sub-blocks, assoc ways (0 = fully
+// associative). All sizes must be powers of two.
+func NewSector(size, sectorSize, subSize, assoc int) (*SectorCache, error) {
+	switch {
+	case size <= 0 || size&(size-1) != 0:
+		return nil, fmt.Errorf("cache: sector cache size %d not a power of two", size)
+	case sectorSize <= 0 || sectorSize&(sectorSize-1) != 0:
+		return nil, fmt.Errorf("cache: sector size %d not a power of two", sectorSize)
+	case subSize <= 0 || subSize&(subSize-1) != 0 || subSize > sectorSize:
+		return nil, fmt.Errorf("cache: sub-block size %d invalid for sector %d", subSize, sectorSize)
+	case sectorSize > size:
+		return nil, fmt.Errorf("cache: sector %d exceeds cache %d", sectorSize, size)
+	}
+	sectors := size / sectorSize
+	if assoc == 0 {
+		assoc = sectors
+	}
+	if assoc < 0 || assoc > sectors || sectors%assoc != 0 {
+		return nil, fmt.Errorf("cache: associativity %d invalid for %d sectors", assoc, sectors)
+	}
+	nsets := sectors / assoc
+	if nsets&(nsets-1) != 0 {
+		return nil, fmt.Errorf("cache: sector set count %d not a power of two", nsets)
+	}
+	c := &SectorCache{
+		sectorSize: sectorSize,
+		subSize:    subSize,
+		subsPer:    sectorSize / subSize,
+		sets:       make([][]sector, nsets),
+		setLo:      log2(uint64(nsets)),
+	}
+	for i := range c.sets {
+		ways := make([]sector, assoc)
+		for w := range ways {
+			ways[w].sub = make([]subBlock, c.subsPer)
+		}
+		c.sets[i] = ways
+	}
+	return c, nil
+}
+
+// Stats returns the accumulated counters.
+func (c *SectorCache) Stats() SectorStats { return c.stats }
+
+// Access performs one reference.
+func (c *SectorCache) Access(addr uint64, write bool) {
+	c.clock++
+	c.stats.Accesses++
+	sectorIdx := addr / uint64(c.sectorSize)
+	set := sectorIdx & ((1 << c.setLo) - 1)
+	tag := sectorIdx >> c.setLo
+	sub := int(addr%uint64(c.sectorSize)) / c.subSize
+	ways := c.sets[set]
+
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			ways[i].stamp = c.clock
+			if ways[i].sub[sub].valid {
+				c.stats.Hits++
+			} else {
+				c.stats.SubMisses++
+				c.stats.SubFills++
+				ways[i].sub[sub].valid = true
+			}
+			if write {
+				ways[i].sub[sub].dirty = true
+			}
+			return
+		}
+	}
+
+	// Sector miss: replace the LRU sector, flush its dirty sub-blocks,
+	// fill only the referenced sub-block.
+	c.stats.SectorMiss++
+	v, min := 0, ^uint64(0)
+	for i := range ways {
+		if !ways[i].valid {
+			v = i
+			break
+		}
+		if ways[i].stamp < min {
+			v, min = i, ways[i].stamp
+		}
+	}
+	if ways[v].valid {
+		for _, sb := range ways[v].sub {
+			if sb.valid && sb.dirty {
+				c.stats.SubFlushes++
+			}
+		}
+	}
+	ways[v].tag = tag
+	ways[v].valid = true
+	ways[v].stamp = c.clock
+	for i := range ways[v].sub {
+		ways[v].sub[i] = subBlock{}
+	}
+	ways[v].sub[sub] = subBlock{valid: true, dirty: write}
+	c.stats.SubFills++
+}
+
+// TagCount returns the number of address tags the cache stores — the
+// quantity sector placement shrinks relative to a small-line cache.
+func (c *SectorCache) TagCount() int {
+	n := 0
+	for _, set := range c.sets {
+		n += len(set)
+	}
+	return n
+}

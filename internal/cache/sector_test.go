@@ -1,0 +1,127 @@
+package cache
+
+import (
+	"testing"
+
+	"tradeoff/internal/trace"
+)
+
+func TestNewSectorValidation(t *testing.T) {
+	if _, err := NewSector(8<<10, 64, 8, 2); err != nil {
+		t.Fatalf("valid sector cache rejected: %v", err)
+	}
+	bad := [][4]int{
+		{1000, 64, 8, 2},    // size not power of two
+		{8 << 10, 63, 8, 2}, // sector not power of two
+		{8 << 10, 64, 0, 2}, // zero sub-block
+		{8 << 10, 8, 16, 2}, // sub-block larger than sector
+		{32, 64, 8, 1},      // sector larger than cache
+		{8 << 10, 64, 8, 3}, // sectors not divisible by assoc
+	}
+	for i, b := range bad {
+		if _, err := NewSector(b[0], b[1], b[2], b[3]); err == nil {
+			t.Errorf("bad sector config %d accepted: %v", i, b)
+		}
+	}
+}
+
+func TestSectorSubBlockFlow(t *testing.T) {
+	c, err := NewSector(1<<10, 64, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Access(0, false) // sector miss: one sub-block filled
+	s := c.Stats()
+	if s.SectorMiss != 1 || s.SubFills != 1 {
+		t.Fatalf("cold access stats %+v", s)
+	}
+	c.Access(4, false) // same sub-block: hit
+	if got := c.Stats().Hits; got != 1 {
+		t.Fatalf("hits = %d, want 1", got)
+	}
+	c.Access(8, false) // same sector, next sub-block: sub-miss, partial fill
+	s = c.Stats()
+	if s.SubMisses != 1 || s.SubFills != 2 {
+		t.Fatalf("sub-miss stats %+v", s)
+	}
+}
+
+func TestSectorDirtyFlushOnlyDirtySubBlocks(t *testing.T) {
+	// Direct-mapped one-sector cache: force a replacement and count
+	// flushed sub-blocks.
+	c, err := NewSector(64, 64, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Access(0, true)   // sub 0 dirty
+	c.Access(8, false)  // sub 1 clean
+	c.Access(16, true)  // sub 2 dirty
+	c.Access(64, false) // conflicting sector: replace
+	if got := c.Stats().SubFlushes; got != 2 {
+		t.Fatalf("sub flushes = %d, want only the 2 dirty sub-blocks", got)
+	}
+}
+
+func TestSectorTagAmortization(t *testing.T) {
+	// A 64-byte-sector cache stores 8x fewer tags than an 8-byte-line
+	// conventional cache of the same size.
+	sc, err := NewSector(8<<10, 64, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := sc.TagCount(), (8<<10)/64; got != want {
+		t.Fatalf("sector tags = %d, want %d", got, want)
+	}
+	conventional := (8 << 10) / 8
+	if sc.TagCount()*8 != conventional {
+		t.Fatalf("amortization factor wrong: %d vs %d", sc.TagCount(), conventional)
+	}
+}
+
+func TestSectorVsConventionalTradeoffs(t *testing.T) {
+	// The three-way structural comparison on a spatial-locality
+	// workload: a sector cache (64B sector, 8B sub-block) must have
+	// traffic no higher than a 64B-line conventional cache, and a hit
+	// ratio no higher than it (no spatial prefetch from whole-line
+	// fills).
+	refs := trace.Collect(trace.MustProgram(trace.Swm256, 31), 150000)
+
+	sc, err := NewSector(8<<10, 64, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := MustNew(Config{Size: 8 << 10, LineSize: 64, Assoc: 2})
+	for _, r := range refs {
+		sc.Access(r.Addr, r.Write)
+		big.Access(r.Addr, r.Write)
+	}
+	scTraffic := sc.Stats().Traffic(8)
+	bigTraffic := big.Stats().Traffic(64, 4)
+	if scTraffic >= bigTraffic {
+		t.Fatalf("sector traffic %d not below 64B-line traffic %d", scTraffic, bigTraffic)
+	}
+	if sc.Stats().HitRatio() > big.Stats().HitRatio() {
+		t.Fatalf("sector hit ratio %.4f above whole-line %.4f — sub-block fills cannot prefetch",
+			sc.Stats().HitRatio(), big.Stats().HitRatio())
+	}
+}
+
+func TestSectorLRUWithinSet(t *testing.T) {
+	// 2 sectors fully associative: LRU replacement among sectors.
+	c, err := NewSector(128, 64, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Access(0, false)   // sector A
+	c.Access(128, false) // sector B
+	c.Access(0, false)   // touch A
+	c.Access(256, false) // sector C replaces B (LRU)
+	c.Access(0, false)   // A still resident: hit
+	s := c.Stats()
+	if s.Hits != 2 {
+		t.Fatalf("hits = %d, want 2 (A touched twice)", s.Hits)
+	}
+	if s.SectorMiss != 3 {
+		t.Fatalf("sector misses = %d, want 3 (A, B, C)", s.SectorMiss)
+	}
+}

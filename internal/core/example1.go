@@ -1,0 +1,56 @@
+package core
+
+import "fmt"
+
+// Example 1 of the paper (§5.2) uses the Short & Levy (ISCA '88)
+// trace-driven hit ratios to argue that cache size and bus width are
+// exchangeable: a 64-bit-bus processor with an 8 KB cache matches a
+// 32-bit-bus processor with a 32 KB cache. These constants record the
+// two scalar facts the example relies on (DESIGN.md §4, substitution 2).
+const (
+	ShortLevyHR8K  = 0.910 // data-cache hit ratio at 8 KB
+	ShortLevyHR32K = 0.955 // data-cache hit ratio at 32 KB
+)
+
+// CacheBusEquivalence describes a cache-size-for-bus-width exchange:
+// the wide-bus system with the small cache performs like the
+// narrow-bus system with the large cache.
+type CacheBusEquivalence struct {
+	SmallHR   float64 // hit ratio of the small cache (wide bus side)
+	NeededHR  float64 // hit ratio the narrow bus needs: SmallHR + ΔHR
+	DeltaHR   float64 // Eq. (7) hit ratio traded by bus doubling
+	RInv      float64 // inverse miss-count ratio r' = R/R'
+	Satisfied bool    // whether the provided large-cache HR meets NeededHR
+	LargeHR   float64 // the hit ratio actually provided by the large cache
+}
+
+// ExampleOne checks the §5.2 equivalence for a given pair of measured
+// hit ratios. smallHR is the hit ratio of the smaller cache (used with
+// the doubled bus), largeHR of the larger cache (used with the base
+// bus). alpha, l, d, betaM describe the shared design point, with d
+// the narrow bus width. The equivalence holds when largeHR covers the
+// hit ratio the bus doubling is worth on top of smallHR.
+func ExampleOne(smallHR, largeHR, alpha, l, d, betaM float64) (CacheBusEquivalence, error) {
+	if !validFraction(smallHR) || !validFraction(largeHR) {
+		return CacheBusEquivalence{}, fmt.Errorf("core: hit ratios (%g, %g) must be in (0,1)", smallHR, largeHR)
+	}
+	// r' = R/R' ≤ 1 viewed from the wide system (Eq. 7's base).
+	r, err := MissRatioOfCaches(FeatureSpec{Feature: FeatureDoubleBus}, alpha, l, d, betaM)
+	if err != nil {
+		return CacheBusEquivalence{}, err
+	}
+	rInv := 1 / r
+	dHR, err := DeltaHRWideBase(smallHR, rInv)
+	if err != nil {
+		return CacheBusEquivalence{}, err
+	}
+	eq := CacheBusEquivalence{
+		SmallHR:  smallHR,
+		NeededHR: smallHR + dHR,
+		DeltaHR:  dHR,
+		RInv:     rInv,
+		LargeHR:  largeHR,
+	}
+	eq.Satisfied = largeHR >= eq.NeededHR
+	return eq, nil
+}

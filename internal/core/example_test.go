@@ -1,0 +1,90 @@
+package core_test
+
+import (
+	"fmt"
+
+	"tradeoff/internal/core"
+)
+
+// The execution-time model of Eq. (2): a million instructions with a
+// 5% data-miss ratio on a full-blocking cache.
+func ExampleExecutionTime() {
+	p := core.Params{
+		E:     1_000_000,
+		R:     480_000, // 15k misses × 32-byte lines
+		W:     0,
+		Alpha: 0.5,
+		Phi:   8, // full stalling: L/D
+		D:     4,
+		L:     32,
+		BetaM: 10,
+	}
+	fmt.Printf("X = %.0f cycles (CPI %.2f)\n", core.ExecutionTime(p), core.ExecutionTime(p)/p.E)
+	// Output:
+	// X = 2785000 cycles (CPI 2.79)
+}
+
+// Eq. (6): the hit ratio bus doubling is worth, from the miss-count
+// ratio r of Table 3.
+func ExampleDeltaHR() {
+	r, err := core.MissRatioOfCaches(core.FeatureSpec{Feature: core.FeatureDoubleBus}, 0.5, 32, 4, 10)
+	if err != nil {
+		panic(err)
+	}
+	tr, err := core.DeltaHR(0.95, r)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("r = %.3f, HR 0.95 -> %.4f\n", tr.R, tr.NewHR)
+	// Output:
+	// r = 2.017, HR 0.95 -> 0.8992
+}
+
+// Eq. (9) and the §5.3 crossover: when pipelined memory overtakes a
+// doubled bus.
+func ExamplePipelineCrossover() {
+	x, err := core.PipelineCrossover(2, 32, 4)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("crossover at beta_m = %.2f\n", x)
+	// Output:
+	// crossover at beta_m = 4.67
+}
+
+// Eq. (14): the hit-ratio gain a 64-byte line must deliver over a
+// 16-byte line to break even at c = 5, β = 2.
+func ExampleDeltaEHR() {
+	need, err := core.DeltaEHR(0.95, 0.5, 0.5, 5, 2, 16, 64, 4)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("needs +%.2f%% hit ratio\n", 100*need)
+	// Output:
+	// needs +3.30% hit ratio
+}
+
+// Pricing a measured write-around workload profile (W > 0): the
+// read-bypassing write buffers hide the flushes AND the write-around
+// stores, so they trade more hit ratio than under write-allocate.
+func ExampleProfileTradeoff() {
+	profile := core.WorkloadProfile{R: 640_000, W: 5_000, Alpha: 0.5, L: 32}
+	tr, err := core.ProfileTradeoff(core.FeatureSpec{Feature: core.FeatureWriteBuffers}, profile, 0.95, 4, 10)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("write buffers worth %.2f%% hit ratio\n", 100*tr.DeltaHR)
+	// Output:
+	// write buffers worth 2.70% hit ratio
+}
+
+// Pricing a second-level cache in L1 hit ratio.
+func ExamplePriceL2() {
+	w, err := core.PriceL2(0.90, 0.80, 5, 80)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("the L2 is worth %.2f%% of L1 hit ratio\n", 100*w.DeltaHR)
+	// Output:
+	// the L2 is worth 7.59% of L1 hit ratio
+}

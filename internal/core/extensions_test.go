@@ -1,0 +1,385 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMultiIssueReducesToSingleIssue(t *testing.T) {
+	for _, spec := range []FeatureSpec{
+		{Feature: FeatureDoubleBus},
+		{Feature: FeaturePartialStall, Phi: 2},
+		{Feature: FeatureWriteBuffers},
+		{Feature: FeaturePipelinedMemory, Q: 2},
+	} {
+		want, err := MissRatioOfCaches(spec, 0.5, 32, 4, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := MissRatioOfCachesMultiIssue(spec, 0.5, 32, 4, 8, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almost(got, want, 1e-12) {
+			t.Fatalf("%v: issue=1 r=%g, single-issue r=%g", spec.Feature, got, want)
+		}
+	}
+}
+
+func TestMultiIssueConvergesToLargeBetaLimit(t *testing.T) {
+	// As issue width grows, the hit cycle a miss displaces vanishes and
+	// r approaches the βm→∞ limit of the single-issue model.
+	spec := FeatureSpec{Feature: FeatureDoubleBus}
+	lim := limitRatioLargeBeta(spec, 0.5, 8, 4) // = 2
+	r1, err := MissRatioOfCachesMultiIssue(spec, 0.5, 8, 4, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := MissRatioOfCachesMultiIssue(spec, 0.5, 8, 4, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r64, err := MissRatioOfCachesMultiIssue(spec, 0.5, 8, 4, 2, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(math.Abs(r64-lim) < math.Abs(r8-lim) && math.Abs(r8-lim) < math.Abs(r1-lim)) {
+		t.Fatalf("r not converging to limit %g: %g, %g, %g", lim, r1, r8, r64)
+	}
+	if !almost(r64, lim, 0.01) {
+		t.Fatalf("issue=64 r=%g, want ≈%g", r64, lim)
+	}
+}
+
+func TestMultiIssueExecutionTime(t *testing.T) {
+	p := Params{E: 1000, R: 320, W: 5, Alpha: 0.5, Phi: 8, D: 4, L: 32, BetaM: 10}
+	// Single issue must equal Eq. (2).
+	x1, err := ExecutionTimeMultiIssue(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(x1, ExecutionTime(p), 1e-9) {
+		t.Fatalf("issue=1 X=%g != Eq.2 %g", x1, ExecutionTime(p))
+	}
+	// Issue 2 halves only the non-stalled part: (1000−15)/2 + 1250.
+	x2, err := ExecutionTimeMultiIssue(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(x2, 985.0/2+1250, 1e-9) {
+		t.Fatalf("issue=2 X=%g, want %g", x2, 985.0/2+1250)
+	}
+	if _, err := ExecutionTimeMultiIssue(p, 0.5); err == nil {
+		t.Fatal("issue < 1 accepted")
+	}
+}
+
+func TestMultiIssueDomainErrors(t *testing.T) {
+	bad := []struct {
+		name string
+		f    func() (float64, error)
+	}{
+		{"issue<1", func() (float64, error) {
+			return MissRatioOfCachesMultiIssue(FeatureSpec{Feature: FeatureDoubleBus}, 0.5, 32, 4, 8, 0.5)
+		}},
+		{"L<2D", func() (float64, error) {
+			return MissRatioOfCachesMultiIssue(FeatureSpec{Feature: FeatureDoubleBus}, 0.5, 4, 4, 8, 2)
+		}},
+		{"phi<1", func() (float64, error) {
+			return MissRatioOfCachesMultiIssue(FeatureSpec{Feature: FeaturePartialStall, Phi: 0}, 0.5, 32, 4, 8, 2)
+		}},
+		{"q<1", func() (float64, error) {
+			return MissRatioOfCachesMultiIssue(FeatureSpec{Feature: FeaturePipelinedMemory}, 0.5, 32, 4, 8, 2)
+		}},
+		{"unknown", func() (float64, error) {
+			return MissRatioOfCachesMultiIssue(FeatureSpec{Feature: Feature(9)}, 0.5, 32, 4, 8, 2)
+		}},
+		{"alpha", func() (float64, error) {
+			return MissRatioOfCachesMultiIssue(FeatureSpec{Feature: FeatureDoubleBus}, 2, 32, 4, 8, 2)
+		}},
+		{"beta<1", func() (float64, error) {
+			return MissRatioOfCachesMultiIssue(FeatureSpec{Feature: FeatureDoubleBus}, 0.5, 32, 4, 0, 2)
+		}},
+	}
+	for _, tc := range bad {
+		if _, err := tc.f(); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestMultiIssueTradeoffShrinksDeltaHR(t *testing.T) {
+	// Wider issue makes hit ratio more precious: ΔHR traded by bus
+	// doubling at small βm shrinks toward the large-βm value.
+	spec := FeatureSpec{Feature: FeatureDoubleBus}
+	t1, err := MultiIssueTradeoff(spec, 0.95, 0.5, 8, 4, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t4, err := MultiIssueTradeoff(spec, 0.95, 0.5, 8, 4, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t4.DeltaHR >= t1.DeltaHR {
+		t.Fatalf("issue=4 ΔHR %g not below issue=1 ΔHR %g", t4.DeltaHR, t1.DeltaHR)
+	}
+}
+
+func TestProfileReducesToWriteAllocate(t *testing.T) {
+	// With W = 0 the profile-based ratio must equal Table 3's exactly,
+	// for every feature and a sweep of design points.
+	specs := []FeatureSpec{
+		{Feature: FeatureDoubleBus},
+		{Feature: FeaturePartialStall, Phi: 3},
+		{Feature: FeatureWriteBuffers},
+		{Feature: FeaturePipelinedMemory, Q: 2},
+	}
+	for _, spec := range specs {
+		for _, betaM := range []float64{2, 5, 10, 20} {
+			w := WorkloadProfile{R: 64000, W: 0, Alpha: 0.5, L: 32}
+			want, err := MissRatioOfCaches(spec, 0.5, 32, 4, betaM)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := MissRatioOfCachesProfile(spec, w, 4, betaM)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !almost(got, want, 1e-9) {
+				t.Fatalf("%v βm=%g: profile r=%g, Table 3 r=%g", spec.Feature, betaM, got, want)
+			}
+		}
+	}
+}
+
+func TestProfileWriteBuffersGainMoreUnderWriteAround(t *testing.T) {
+	// With write-around traffic (W > 0) the read-bypassing buffers hide
+	// the W·βm term too, so they trade MORE hit ratio than under
+	// write-allocate at the same design point.
+	withW := WorkloadProfile{R: 64000, W: 500, Alpha: 0.5, L: 32}
+	noW := WorkloadProfile{R: 64000, W: 0, Alpha: 0.5, L: 32}
+	spec := FeatureSpec{Feature: FeatureWriteBuffers}
+	rW, err := MissRatioOfCachesProfile(spec, withW, 4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0, err := MissRatioOfCachesProfile(spec, noW, 4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rW <= r0 {
+		t.Fatalf("write-around r=%g not above write-allocate r=%g", rW, r0)
+	}
+}
+
+func TestProfileBusDoublingInsensitiveToW(t *testing.T) {
+	// Bus doubling leaves the W·βm term unchanged on both sides (a
+	// <= D-byte store is one memory cycle either way), so W dilutes but
+	// never flips the tradeoff; r stays above 1.
+	for _, wCount := range []float64{0, 100, 10000} {
+		w := WorkloadProfile{R: 64000, W: wCount, Alpha: 0.5, L: 32}
+		r, err := MissRatioOfCachesProfile(FeatureSpec{Feature: FeatureDoubleBus}, w, 4, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r <= 1 {
+			t.Fatalf("W=%g: r=%g, want > 1", wCount, r)
+		}
+	}
+}
+
+func TestProfileValidation(t *testing.T) {
+	good := WorkloadProfile{R: 3200, W: 10, Alpha: 0.5, L: 32}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid profile rejected: %v", err)
+	}
+	bad := []WorkloadProfile{
+		{R: -1, L: 32},
+		{R: 100, W: -1, L: 32},
+		{R: 100, Alpha: 2, L: 32},
+		{R: 100, L: 0},
+		{R: 0, W: 0, L: 32},
+	}
+	for i, w := range bad {
+		if err := w.Validate(); err == nil {
+			t.Errorf("bad profile %d accepted", i)
+		}
+	}
+	if _, err := MissRatioOfCachesProfile(FeatureSpec{Feature: FeatureDoubleBus}, WorkloadProfile{R: 100, L: 4, Alpha: 0}, 4, 10); err == nil {
+		t.Error("L < 2D accepted")
+	}
+	if _, err := MissRatioOfCachesProfile(FeatureSpec{Feature: FeatureDoubleBus}, good, 4, 0.5); err == nil {
+		t.Error("βm < 1 accepted")
+	}
+	if _, err := MissRatioOfCachesProfile(FeatureSpec{Feature: Feature(9)}, good, 4, 10); err == nil {
+		t.Error("unknown feature accepted")
+	}
+}
+
+func TestProfileTradeoffEndToEnd(t *testing.T) {
+	w := WorkloadProfile{R: 64000, W: 200, Alpha: 0.5, L: 32}
+	tr, err := ProfileTradeoff(FeatureSpec{Feature: FeatureWriteBuffers}, w, 0.95, 4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.DeltaHR <= 0 || !tr.Valid {
+		t.Fatalf("tradeoff %+v", tr)
+	}
+}
+
+func TestICacheExecutionTime(t *testing.T) {
+	p := ICacheParams{
+		Params: Params{E: 1000, R: 320, W: 0, Alpha: 0.5, Phi: 8, D: 4, L: 32, BetaM: 10},
+		RI:     640, PhiI: 8,
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Data part: 990 + 800 + 400 = 2190; I-part: 20·8·10 = 1600.
+	if got := ExecutionTimeWithICache(p); !almost(got, 2190+1600, 1e-9) {
+		t.Fatalf("X with I-cache = %g, want 3790", got)
+	}
+}
+
+func TestICacheValidation(t *testing.T) {
+	base := Params{E: 1000, R: 320, Alpha: 0.5, Phi: 8, D: 4, L: 32, BetaM: 10}
+	bad := []ICacheParams{
+		{Params: base, RI: -1},
+		{Params: base, RI: 100, PhiI: 0.5},
+		{Params: base, RI: 100, PhiI: 9},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad icache params %d accepted", i)
+		}
+	}
+	ok := ICacheParams{Params: base, RI: 0, PhiI: 0} // no I-misses: φI unused
+	if err := ok.Validate(); err != nil {
+		t.Errorf("zero-RI params rejected: %v", err)
+	}
+}
+
+func TestICacheTradeoffMatchesDataCacheAtAlphaZero(t *testing.T) {
+	// §4.5: the model applies to instruction caches in the same form.
+	// A read-only data stream (α = 0) must price bus doubling
+	// identically to the I-cache tradeoff.
+	it, err := ICacheTradeoff(0.98, 32, 4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt, err := FeatureTradeoff(FeatureSpec{Feature: FeatureDoubleBus}, 0.98, 0, 32, 4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(it.DeltaHR, dt.DeltaHR, 1e-12) {
+		t.Fatalf("I-cache ΔHR %g != α=0 data ΔHR %g", it.DeltaHR, dt.DeltaHR)
+	}
+	if _, err := ICacheTradeoff(0.98, 4, 4, 10); err == nil {
+		t.Fatal("L < 2D accepted")
+	}
+}
+
+func TestProfileScalesLinearlyQuick(t *testing.T) {
+	// Property: scaling a profile (R, W) by a constant leaves the
+	// miss-count ratio unchanged — the tradeoff depends on the shape of
+	// the traffic, not its volume.
+	f := func(scaleRaw uint8, wRaw uint16, betaRaw uint8) bool {
+		scale := float64(scaleRaw%9) + 1
+		w := WorkloadProfile{R: 64000, W: float64(wRaw % 2000), Alpha: 0.5, L: 32}
+		ws := WorkloadProfile{R: w.R * scale, W: w.W * scale, Alpha: 0.5, L: 32}
+		betaM := float64(betaRaw%30) + 2
+		a, err1 := MissRatioOfCachesProfile(FeatureSpec{Feature: FeatureWriteBuffers}, w, 4, betaM)
+		b, err2 := MissRatioOfCachesProfile(FeatureSpec{Feature: FeatureWriteBuffers}, ws, 4, betaM)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return almost(a, b, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTwoLevelDelayByHand(t *testing.T) {
+	// HR1=0.9, local HR2=0.8, tL2=5, tMem=80:
+	// 0.9 + 0.1·(0.8·5 + 0.2·80) = 0.9 + 0.1·20 = 2.9.
+	got, err := TwoLevelDelay(0.9, 0.8, 5, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(got, 2.9, 1e-12) {
+		t.Fatalf("two-level delay %g, want 2.9", got)
+	}
+}
+
+func TestTwoLevelDelayDomain(t *testing.T) {
+	if _, err := TwoLevelDelay(1.5, 0.8, 5, 80); err == nil {
+		t.Fatal("bad hr1 accepted")
+	}
+	if _, err := TwoLevelDelay(0.9, 1.5, 5, 80); err == nil {
+		t.Fatal("bad hr2 accepted")
+	}
+	if _, err := TwoLevelDelay(0.9, 0.8, 0.5, 80); err == nil {
+		t.Fatal("tL2 below 1 accepted")
+	}
+	if _, err := TwoLevelDelay(0.9, 0.8, 90, 80); err == nil {
+		t.Fatal("tMem below tL2 accepted")
+	}
+}
+
+func TestPriceL2RoundTrip(t *testing.T) {
+	// The priced ΔHR must reproduce the two-level delay when applied
+	// to a single-level system.
+	const (
+		hr1, hr2 = 0.9, 0.8
+		tL2      = 5.0
+		tMem     = 80.0
+	)
+	w, err := PriceL2(hr1, hr2, tL2, tMem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.Achievable {
+		t.Fatal("moderate L2 reported unachievable")
+	}
+	with, err := TwoLevelDelay(hr1, hr2, tL2, tMem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := hr1 + w.DeltaHR
+	single := h + (1-h)*tMem
+	if !almost(single, with, 1e-9) {
+		t.Fatalf("equivalent single-level delay %g != two-level %g", single, with)
+	}
+}
+
+func TestPriceL2ExcellentL2NeedsNearPerfectL1(t *testing.T) {
+	// A near-perfect fast L2 behind a mediocre L1 is worth almost the
+	// whole miss stream: matching it takes an L1 above 99% where the
+	// base was 50%.
+	w, err := PriceL2(0.5, 0.999, 2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.Achievable {
+		t.Fatalf("finite L2 reported unachievable: %+v", w)
+	}
+	if equiv := 0.5 + w.DeltaHR; equiv < 0.99 {
+		t.Fatalf("equivalent L1 hit ratio %.4f, want > 0.99", equiv)
+	}
+}
+
+func TestPriceL2GrowsWithLocalHitRatio(t *testing.T) {
+	prev := -1.0
+	for _, hr2 := range []float64{0.2, 0.5, 0.8} {
+		w, err := PriceL2(0.9, hr2, 5, 80)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.DeltaHR <= prev {
+			t.Fatalf("L2 worth not growing with local hit ratio: %g after %g", w.DeltaHR, prev)
+		}
+		prev = w.DeltaHR
+	}
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFillTime(t *testing.T) {
+	if got := FillTime(5, 2, 32, 4); got != 21 {
+		t.Fatalf("fill time = %g, want c + (L/D)β = 21", got)
+	}
+}
+
+func TestLineExecTimeEq11(t *testing.T) {
+	// E=1000, R=320, L=32, D=4, W=5, α=0.5, c=5, β=2:
+	// X = (1000−10−5) + 10·1.5·21 + 5·7 = 985 + 315 + 35.
+	got := LineExecTime(1000, 320, 5, 0.5, 5, 2, 32, 4)
+	if !almost(got, 1335, 1e-9) {
+		t.Fatalf("Eq. 11 = %g, want 1335", got)
+	}
+}
+
+func TestLineByteRatioEq13(t *testing.T) {
+	// Hand check: L0=16, L*=32, D=4, c=5, β=2, α=α*=0.5.
+	// num = 1.5·(5+8)−1 = 18.5; den = 1.5·(5+16)−1 = 30.5.
+	// R*/R = 2·18.5/30.5.
+	got, err := LineByteRatio(0.5, 0.5, 5, 2, 16, 32, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * 18.5 / 30.5; !almost(got, want, 1e-12) {
+		t.Fatalf("Eq. 13 = %g, want %g", got, want)
+	}
+	if _, err := LineByteRatio(0.5, 0.5, 5, 2, 32, 16, 4); err == nil {
+		t.Fatal("L* <= L0 accepted")
+	}
+}
+
+func TestLineMissRatioBelowOne(t *testing.T) {
+	// Eq. 14's r < 1: the larger line affords fewer misses.
+	f := func(lExp uint8, cRaw, bRaw uint8) bool {
+		l0 := float64(int(8) << (lExp % 3)) // 8..32
+		lStar := l0 * 2
+		c := 1 + float64(cRaw%50)    // 1..50
+		beta := 1 + float64(bRaw%10) // 1..10
+		r, err := LineMissRatioOfCaches(0.5, 0.5, c, beta, l0, lStar, 4)
+		if err != nil {
+			return false
+		}
+		return r > 0 && r < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeltaEHRPositive(t *testing.T) {
+	d, err := DeltaEHR(0.95, 0.5, 0.5, 5, 2, 16, 32, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 {
+		t.Fatalf("ΔEHR = %g, want > 0 (Eq. 14)", d)
+	}
+}
+
+func TestLargerLineWorthItDecision(t *testing.T) {
+	need, err := DeltaEHR(0.95, 0.5, 0.5, 5, 2, 16, 32, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := LargerLineWorthIt(need*2, 0.95, 0.5, 0.5, 5, 2, 16, 32, 4)
+	if err != nil || !ok {
+		t.Fatalf("double the needed gain rejected (err=%v)", err)
+	}
+	ok, err = LargerLineWorthIt(need/2, 0.95, 0.5, 0.5, 5, 2, 16, 32, 4)
+	if err != nil || ok {
+		t.Fatalf("half the needed gain accepted (err=%v)", err)
+	}
+}
+
+func TestMeanDelayPerRefEq15(t *testing.T) {
+	// HR=0.9, c=5, β=2, L=32, D=4: 0.9 + 0.1·21 = 3.0.
+	if got := MeanDelayPerRef(0.9, 5, 2, 32, 4); !almost(got, 3.0, 1e-12) {
+		t.Fatalf("Eq. 15 delay = %g, want 3.0", got)
+	}
+}
+
+func TestReducedDelayIdentity(t *testing.T) {
+	// Eq. (19) must equal the direct mean-delay difference
+	// delay(L0) − delay(Li) — the identity that makes the paper's
+	// "exactly match with Smith" validation work (§5.4.2).
+	f := func(hr0Pct, gainPct, cRaw, bRaw, liExp uint8) bool {
+		hr0 := 0.80 + float64(hr0Pct%15)/100
+		hrI := hr0 + float64(gainPct%5)/100 // larger line never worse here
+		if hrI >= 1 {
+			hrI = 0.999
+		}
+		c := 1 + float64(cRaw%40)
+		beta := 1 + float64(bRaw%8)
+		l0 := 8.0
+		li := l0 * float64(int(2)<<(liExp%4)) // 16..128
+		rd, err := ReducedDelay(hr0, hrI, c, beta, l0, li, 4)
+		if err != nil {
+			return false
+		}
+		direct := MeanDelayPerRef(hr0, c, beta, l0, 4) - MeanDelayPerRef(hrI, c, beta, li, 4)
+		return almost(rd, direct, 1e-9*math.Max(1, math.Abs(direct)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReducedDelaySameLineIsZero(t *testing.T) {
+	rd, err := ReducedDelay(0.9, 0.9, 5, 2, 16, 16, 4)
+	if err != nil || rd != 0 {
+		t.Fatalf("same-line reduced delay = %g (err=%v)", rd, err)
+	}
+}
+
+func TestReducedDelayNegativeWhenBusTooSlow(t *testing.T) {
+	// §5.4.2: with a tiny hit-ratio gain and a slow bus, the larger
+	// line's transfer cost dominates and the reduced delay is negative.
+	rd, err := ReducedDelay(0.95, 0.9505, 2, 10, 8, 128, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd >= 0 {
+		t.Fatalf("reduced delay = %g, want negative for slow bus", rd)
+	}
+}

@@ -1,0 +1,106 @@
+package core
+
+import "fmt"
+
+// Tradeoff is the result of pricing one feature in hit ratio.
+type Tradeoff struct {
+	Feature Feature
+	R       float64 // ratio of cache misses r (Table 3)
+	S       float64 // s = Λh/Λm of the base system
+	BaseHR  float64 // hit ratio HR1 of the base (featureless) system
+	DeltaHR float64 // hit ratio traded: HR1 − HR2 (Eq. 6)
+	NewHR   float64 // HR2, the hit ratio the improved system can afford
+	Valid   bool    // Eq. 6 is physical only while HR2 > 0
+}
+
+// DeltaHR evaluates Eq. (6): the hit-ratio difference between the base
+// system (hit ratio baseHR) and an improved system with miss-count
+// ratio r that has the same execution time:
+//
+//	ΔHR = HR1 − HR2 = MR2 − MR1 = (r − 1) / (s + 1)
+//
+// with s = baseHR/(1−baseHR). Valid is false when the implied HR2
+// drops to zero or below ("only valid for the physical system where
+// HR2 > 0").
+func DeltaHR(baseHR, r float64) (Tradeoff, error) {
+	s, err := SFromHitRatio(baseHR)
+	if err != nil {
+		return Tradeoff{}, err
+	}
+	if r <= 0 {
+		return Tradeoff{}, fmt.Errorf("core: miss-count ratio r = %g, want > 0", r)
+	}
+	d := (r - 1) / (s + 1)
+	t := Tradeoff{R: r, S: s, BaseHR: baseHR, DeltaHR: d, NewHR: baseHR - d}
+	t.Valid = t.NewHR > 0
+	return t, nil
+}
+
+// DeltaHRWideBase evaluates Eq. (7): using the improved (e.g. wide-bus)
+// system's hit ratio HR2 as the base, the hit ratio the featureless
+// system must add for the same performance:
+//
+//	ΔHR = (1 − r') / (s + 1)
+//
+// where r' = R/R' ≤ 1 is the inverse miss-count ratio and s comes from
+// HR2. Equivalently ΔHR = (1 − r')·(1 − HR2), the form behind the
+// paper's "0.5(1−HR) to 0.6(1−HR)" statements.
+func DeltaHRWideBase(wideHR, rInv float64) (float64, error) {
+	s, err := SFromHitRatio(wideHR)
+	if err != nil {
+		return 0, err
+	}
+	if rInv <= 0 || rInv > 1 {
+		return 0, fmt.Errorf("core: inverse ratio r' = %g, want in (0, 1]", rInv)
+	}
+	return (1 - rInv) / (s + 1), nil
+}
+
+// FeatureTradeoff prices a feature against a full-blocking,
+// non-pipelined, unbuffered write-allocate base system with hit ratio
+// baseHR, combining MissRatioOfCaches (Table 3) and Eq. (6).
+func FeatureTradeoff(spec FeatureSpec, baseHR, alpha, l, d, betaM float64) (Tradeoff, error) {
+	r, err := MissRatioOfCaches(spec, alpha, l, d, betaM)
+	if err != nil {
+		return Tradeoff{}, err
+	}
+	t, err := DeltaHR(baseHR, r)
+	if err != nil {
+		return Tradeoff{}, err
+	}
+	t.Feature = spec.Feature
+	return t, nil
+}
+
+// EquivalentHitRatio returns HR2 = 1 − r·(1 − HR1), the hit ratio at
+// which the improved system matches the base system (the identity
+// behind "2HR − 1": with r = 2, HR2 = 2·HR1 − 1).
+func EquivalentHitRatio(baseHR, r float64) float64 { return 1 - r*(1-baseHR) }
+
+// RankFeatures orders the features of Table 3 by the hit ratio each
+// trades at a design point, largest first. φ is the measured stalling
+// factor used for FeaturePartialStall and q the readiness interval for
+// FeaturePipelinedMemory. It reproduces the §5.3 ranking claim.
+func RankFeatures(baseHR, alpha, l, d, betaM, phi, q float64) ([]Tradeoff, error) {
+	specs := []FeatureSpec{
+		{Feature: FeatureDoubleBus},
+		{Feature: FeaturePartialStall, Phi: phi},
+		{Feature: FeatureWriteBuffers},
+		{Feature: FeaturePipelinedMemory, Q: q},
+	}
+	out := make([]Tradeoff, 0, len(specs))
+	for _, spec := range specs {
+		t, err := FeatureTradeoff(spec, baseHR, alpha, l, d, betaM)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	// Insertion sort by DeltaHR descending (four elements).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].DeltaHR > out[j-1].DeltaHR; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"tradeoff/internal/cache"
+	"tradeoff/internal/core"
+	"tradeoff/internal/memory"
+	"tradeoff/internal/plot"
+	"tradeoff/internal/stall"
+	"tradeoff/internal/trace"
+)
+
+// EndToEnd (E28) closes the loop on the methodology's central claim:
+// the analytic equivalence — "a smaller cache plus the feature performs
+// like a bigger cache without it" — is verified in the cycle-level
+// engine, not just in the algebra.
+//
+// Protocol, per feature: measure the base system (32K cache, full
+// stalling, no feature) in the engine; use Eq. (6) to predict the hit
+// ratio HR₂ a feature-equipped system may drop to; pick the swept
+// cache size whose measured hit ratio is closest to HR₂; run THAT
+// system with the feature in the engine; compare total cycles. The
+// residual is the end-to-end model error, including everything the
+// algebra abstracts (finite buffers, fill timing, discrete sizes).
+func EndToEnd(o Options) ([]Artifact, error) {
+	const (
+		l     = 32
+		d     = 4
+		betaM = 10
+	)
+	refs := trace.Collect(trace.ZipfReuse(trace.ZipfReuseConfig{
+		Seed: o.seed(), Base: 0x1000_0000, Lines: 65536, Theta: 1.5, WriteFrac: 0.3,
+	}), 2*o.refsPerProgram())
+	warm, measured := refs[:len(refs)/2], refs[len(refs)/2:]
+
+	// Measured hit ratios per size (warmed).
+	sizes := []int{4 << 10, 8 << 10, 16 << 10, 32 << 10}
+	hr := map[int]float64{}
+	for _, sz := range sizes {
+		c, err := cache.New(cache.Config{Size: sz, LineSize: l, Assoc: 2})
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range warm {
+			c.Access(r.Addr, r.Write)
+		}
+		c.ResetStats()
+		hr[sz] = cache.Measure(c, measured).HitRatio
+	}
+
+	// Engine run helper: warmed cache, measured half replayed.
+	runEngine := func(size int, feature stall.Feature, wbuf int, mem memory.Config) (int64, error) {
+		cfg := stall.Config{
+			Cache:            cache.Config{Size: size, LineSize: l, Assoc: 2},
+			Memory:           mem,
+			Feature:          feature,
+			WriteBufferDepth: wbuf,
+		}
+		c, err := cache.New(cfg.Cache)
+		if err != nil {
+			return 0, err
+		}
+		for _, r := range warm {
+			c.Access(r.Addr, r.Write)
+		}
+		c.ResetStats()
+		res, err := stall.RunWarm(cfg, c, measured)
+		if err != nil {
+			return 0, err
+		}
+		return res.Cycles, nil
+	}
+
+	const baseSize = 32 << 10
+	nonPipe := memory.Config{BetaM: betaM, BusWidth: d}
+	baseCycles, err := runEngine(baseSize, stall.FS, 0, nonPipe)
+	if err != nil {
+		return nil, err
+	}
+
+	t := plot.Table{
+		Title: "End-to-end equivalence check (Zipf workload, base = 32K FS no-buffers, beta_m=10): " +
+			"smaller cache + feature vs bigger cache, in the cycle engine",
+		Columns: []string{"feature", "predicted HR2", "picked cache (HR)", "base cycles", "feature cycles", "residual %"},
+	}
+
+	check := func(name string, spec core.FeatureSpec, feature stall.Feature, wbuf int, mem memory.Config) error {
+		tr, err := core.FeatureTradeoff(spec, hr[baseSize], 0.5, l, d, betaM)
+		if err != nil {
+			return err
+		}
+		// Pick the swept size with the hit ratio closest to HR2.
+		pick, best := baseSize, math.Inf(1)
+		for _, sz := range sizes {
+			if diff := math.Abs(hr[sz] - tr.NewHR); diff < best {
+				pick, best = sz, diff
+			}
+		}
+		cyc, err := runEngine(pick, feature, wbuf, mem)
+		if err != nil {
+			return err
+		}
+		residual := 100 * (float64(cyc) - float64(baseCycles)) / float64(baseCycles)
+		t.AddRowf(name, tr.NewHR, fmt.Sprintf("%dK (%.4f)", pick>>10, hr[pick]),
+			baseCycles, cyc, residual)
+		return nil
+	}
+
+	if err := check("write buffers", core.FeatureSpec{Feature: core.FeatureWriteBuffers},
+		stall.FS, 16, nonPipe); err != nil {
+		return nil, err
+	}
+	if err := check("pipelined memory (q=2)", core.FeatureSpec{Feature: core.FeaturePipelinedMemory, Q: 2},
+		stall.FS, 0, memory.Config{BetaM: betaM, BusWidth: d, Pipelined: true, Q: 2}); err != nil {
+		return nil, err
+	}
+	return []Artifact{{ID: "E28", Name: "endtoend", Title: t.Title, Table: &t}}, nil
+}

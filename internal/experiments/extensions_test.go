@@ -1,0 +1,414 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// cell parses a numeric table cell.
+func cell(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("non-numeric cell %q", s)
+	}
+	return v
+}
+
+func TestAblationAlphaShape(t *testing.T) {
+	arts := runOne(t, "ablation_alpha")
+	chart := arts[0].Chart
+	wb := seriesByName(t, chart, "read-bypassing write buffers")
+	// Write buffers are worth nothing at α = 0 and grow monotonically.
+	if wb.Y[0] != 0 {
+		t.Fatalf("write buffers at α=0 trade %.3f%%, want 0", wb.Y[0])
+	}
+	for i := 1; i < len(wb.Y); i++ {
+		if wb.Y[i] < wb.Y[i-1] {
+			t.Fatalf("write-buffer worth fell at α=%g", wb.X[i])
+		}
+	}
+	// Pipelining stays beneficial across α (its r ratio only weakly
+	// depends on α).
+	pipe := seriesByName(t, chart, "pipelined memory")
+	for i := range pipe.Y {
+		if pipe.Y[i] <= 0 {
+			t.Fatalf("pipelined worth non-positive at α=%g", pipe.X[i])
+		}
+	}
+}
+
+func TestAblationQMonotone(t *testing.T) {
+	arts := runOne(t, "ablation_q")
+	tab := arts[0].Table
+	var prevDHR, prevX float64 = 1e9, -1
+	for _, row := range tab.Rows {
+		dhr := cell(t, row[1])
+		x := cell(t, row[3])
+		// Larger q weakens pipelining (smaller ΔHR) and pushes the
+		// crossover right.
+		if dhr > prevDHR+1e-9 {
+			t.Fatalf("ΔHR rose with q: %v", row)
+		}
+		if x < prevX {
+			t.Fatalf("crossover fell with q: %v", row)
+		}
+		prevDHR, prevX = dhr, x
+	}
+}
+
+func TestAblationFillOrderPenaltyNonNegative(t *testing.T) {
+	arts := runOne(t, "ablation_fillorder")
+	for _, row := range arts[0].Table.Rows {
+		if cell(t, row[3]) < -0.5 { // small sampling tolerance
+			t.Fatalf("sequential fill cheaper than requested-first: %v", row)
+		}
+	}
+}
+
+func TestWriteBufferDepthImproves(t *testing.T) {
+	arts := runOne(t, "wbuf_depth")
+	rows := arts[0].Table.Rows
+	for _, row := range rows {
+		d1, d8 := cell(t, row[1]), cell(t, row[4])
+		if d8 < d1-1e-9 {
+			t.Fatalf("depth 8 hides less than depth 1: %v", row)
+		}
+	}
+	// §4.3's claim at an "appropriate memory cycle time": at the
+	// smallest βm a depth-8 buffer hides (nearly) all flush latency.
+	if d8 := cell(t, rows[0][4]); d8 < 95 {
+		t.Fatalf("depth 8 at βm=%s hides only %.1f%%, want ≈100%%", rows[0][0], d8)
+	}
+	// The caveat: at the largest βm the bus saturates and hiding drops.
+	first := cell(t, rows[0][4])
+	last := cell(t, rows[len(rows)-1][4])
+	if last >= first {
+		t.Fatalf("hiding did not degrade with memory cycle time: %.1f%% -> %.1f%%", first, last)
+	}
+}
+
+func TestPipelinedSimMatchesEq9(t *testing.T) {
+	arts := runOne(t, "pipelined_sim")
+	for _, row := range arts[0].Table.Rows {
+		if row[3] != "YES" {
+			t.Fatalf("Eq. 9 mismatch: %v", row)
+		}
+	}
+}
+
+func TestMultiIssueConvergence(t *testing.T) {
+	arts := runOne(t, "multiissue")
+	for _, row := range arts[0].Table.Rows {
+		i1 := cell(t, row[1])
+		i8 := cell(t, row[4])
+		lim := cell(t, row[5])
+		// Issue 8 must be closer to the large-βm limit than issue 1.
+		if d1, d8 := abs(i1-lim), abs(i8-lim); d8 > d1+1e-9 {
+			t.Fatalf("issue 8 not converging to limit: %v", row)
+		}
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestWriteAroundBuffersGain(t *testing.T) {
+	arts := runOne(t, "writearound")
+	foundGain := false
+	for _, row := range arts[0].Table.Rows {
+		if strings.HasPrefix(row[0], "read-bypassing") {
+			ra, rw := cell(t, row[1]), cell(t, row[2])
+			if rw <= ra {
+				t.Fatalf("buffers did not gain under write-around: %v", row)
+			}
+			foundGain = true
+		}
+	}
+	if !foundGain {
+		t.Fatal("no write-buffer row found")
+	}
+}
+
+func TestPinAreaExchange(t *testing.T) {
+	arts := runOne(t, "pinarea")
+	tab := arts[0].Table
+	found := 0
+	var prevDelta float64
+	for _, row := range tab.Rows {
+		if strings.Contains(row[3], "beyond") {
+			continue
+		}
+		found++
+		delta := cell(t, row[4])
+		if delta <= 0 {
+			t.Fatalf("non-positive area delta: %v", row)
+		}
+		// §5.2: the area the bus replaces grows with the base cache.
+		if delta < prevDelta {
+			t.Fatalf("area delta fell with base size: %v", row)
+		}
+		prevDelta = delta
+		if pins := cell(t, row[6]); pins != 32 {
+			t.Fatalf("pins saved %v, want 32", pins)
+		}
+	}
+	if found < 3 {
+		t.Fatalf("only %d finite exchanges found:\n%s", found, tab.Render())
+	}
+}
+
+func TestFigure1SpreadArtifact(t *testing.T) {
+	arts := runOne(t, "figure1")
+	if len(arts) != 2 {
+		t.Fatalf("figure1 artifacts = %d, want chart + spread", len(arts))
+	}
+	tab := arts[1].Table
+	for _, row := range tab.Rows {
+		mean, min, max := cell(t, row[2]), cell(t, row[4]), cell(t, row[5])
+		if !(min <= mean && mean <= max) {
+			t.Fatalf("spread row inconsistent: %v", row)
+		}
+	}
+}
+
+func TestTrafficOptimaDiverge(t *testing.T) {
+	arts := runOne(t, "traffic")
+	if len(arts) != 2 {
+		t.Fatalf("traffic artifacts = %d, want sweep + write-policy", len(arts))
+	}
+	tab := arts[0].Table
+	var trafficOpt, delayOpt, hrOpt int
+	for _, row := range tab.Rows {
+		line := int(cell(t, row[0]))
+		if row[4] == "<==" {
+			trafficOpt = line
+		}
+		if row[5] == "<==" {
+			delayOpt = line
+		}
+		if row[6] == "<==" {
+			hrOpt = line
+		}
+	}
+	if trafficOpt == 0 || delayOpt == 0 || hrOpt == 0 {
+		t.Fatalf("optima not marked:\n%s", tab.Render())
+	}
+	// §2's point: the three objectives pick different designs. At
+	// minimum the hit-ratio optimum (largest line) must differ from
+	// the traffic optimum (smallest lines move fewest bytes).
+	if trafficOpt == hrOpt {
+		t.Fatalf("traffic optimum %d equals hit-ratio optimum — no divergence to show", trafficOpt)
+	}
+	// The write-policy table must show each policy winning somewhere.
+	wp := arts[1].Table
+	winners := map[string]bool{}
+	for _, row := range wp.Rows {
+		winners[row[3]] = true
+	}
+	if !winners["write-back"] || !winners["write-through"] {
+		t.Fatalf("write-policy crossover missing:\n%s", wp.Render())
+	}
+}
+
+func TestSplitCacheSanity(t *testing.T) {
+	arts := runOne(t, "splitcache")
+	if len(arts) != 2 {
+		t.Fatalf("splitcache artifacts = %d, want comparison + Eq.6 table", len(arts))
+	}
+	for _, row := range arts[0].Table.Rows {
+		iHit, dHit, uHit := cell(t, row[1]), cell(t, row[2]), cell(t, row[4])
+		// §3.4: instruction streams hit very often.
+		if iHit < 0.95 {
+			t.Fatalf("%s: I-cache hit ratio %.3f too low", row[0], iHit)
+		}
+		// The unified hit ratio sits in the band the two streams span.
+		lo, hi := dHit, iHit
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if uHit < lo-0.05 || uHit > hi+0.05 {
+			t.Fatalf("%s: unified hit %.3f outside [%.3f, %.3f]", row[0], uHit, lo, hi)
+		}
+		// Delays are consistent with their hit ratios.
+		if sd, ud := cell(t, row[3]), cell(t, row[5]); sd <= 0 || ud <= 0 {
+			t.Fatalf("%s: non-positive delays", row[0])
+		}
+	}
+	// The Eq. (6) table prices the unified cache like any other.
+	for _, row := range arts[1].Table.Rows {
+		if d := cell(t, row[2]); d <= 0 {
+			t.Fatalf("unified ΔHR %v not positive: %v", d, row)
+		}
+	}
+}
+
+func TestAssociativityOrdering(t *testing.T) {
+	arts := runOne(t, "associativity")
+	tab := arts[0].Table
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d, want 1/2/4-way + victim", len(tab.Rows))
+	}
+	oneWay := cell(t, tab.Rows[0][1])
+	twoWay := cell(t, tab.Rows[1][1])
+	victim := cell(t, tab.Rows[3][1])
+	if twoWay <= oneWay {
+		t.Fatalf("2-way HR %.4f not above 1-way %.4f", twoWay, oneWay)
+	}
+	if victim <= oneWay {
+		t.Fatalf("victim buffer HR %.4f not above 1-way %.4f", victim, oneWay)
+	}
+	// The victim buffer's area must be far below the 2-way delta-HR's
+	// equivalent: here just check it is tiny in absolute rbe terms.
+	if a := cell(t, tab.Rows[3][3]); a > 2000 {
+		t.Fatalf("victim buffer area %.0f rbe implausibly large", a)
+	}
+}
+
+func TestPrefetchExperiment(t *testing.T) {
+	arts := runOne(t, "prefetch")
+	if len(arts) != 2 {
+		t.Fatalf("prefetch artifacts = %d, want measurement + model", len(arts))
+	}
+	cut := 0
+	for _, row := range arts[0].Table.Rows {
+		rRatio := cell(t, row[3])
+		traffic := cell(t, row[6])
+		if rRatio > 1.001 {
+			t.Fatalf("prefetch increased demand misses: %v", row)
+		}
+		if rRatio < 0.9 {
+			cut++
+		}
+		if traffic < 0.999 {
+			t.Fatalf("prefetch reduced traffic, impossible: %v", row)
+		}
+	}
+	if cut < 2 {
+		t.Fatalf("prefetch cut misses >10%% on only %d programs:\n%s", cut, arts[0].Table.Render())
+	}
+	// The model table: speedup grows with the hidden fraction.
+	var prev float64
+	for _, row := range arts[1].Table.Rows {
+		sp := cell(t, row[2])
+		if sp < prev {
+			t.Fatalf("speedup fell with hidden fraction: %v", row)
+		}
+		prev = sp
+	}
+}
+
+func TestContentionShiftsRanking(t *testing.T) {
+	arts := runOne(t, "contention")
+	rows := arts[0].Table.Rows
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5 processor counts", len(rows))
+	}
+	// Effective βm grows with processor count.
+	var prevEff float64
+	for _, row := range rows {
+		eff := cell(t, row[1])
+		if eff < prevEff-0.2 {
+			t.Fatalf("effective βm fell: %v", row)
+		}
+		prevEff = eff
+	}
+	// Pipelined memory's worth grows monotonically while bus doubling's
+	// shrinks toward its asymptote.
+	firstBus, lastBus := cell(t, rows[0][3]), cell(t, rows[len(rows)-1][3])
+	firstPipe, lastPipe := cell(t, rows[0][5]), cell(t, rows[len(rows)-1][5])
+	if lastBus > firstBus+1e-9 {
+		t.Fatalf("bus doubling worth grew under contention: %.2f -> %.2f", firstBus, lastBus)
+	}
+	if lastPipe <= firstPipe {
+		t.Fatalf("pipelined worth did not grow under contention: %.2f -> %.2f", firstPipe, lastPipe)
+	}
+	// At 16 processors the crossover must have been passed.
+	if rows[len(rows)-1][6] != "YES" {
+		t.Fatalf("crossover not passed at 16 processors:\n%s", arts[0].Table.Render())
+	}
+}
+
+func TestTwoLevelWorthGrowsWithL2(t *testing.T) {
+	arts := runOne(t, "twolevel")
+	rows := arts[0].Table.Rows
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4 L2 sizes", len(rows))
+	}
+	var prevWorth float64
+	var prevDelay = 1e18
+	for _, row := range rows {
+		worth := cell(t, row[5])
+		delay := cell(t, row[4])
+		if worth < prevWorth-1e-6 {
+			t.Fatalf("L2 worth fell with size: %v", row)
+		}
+		if delay > prevDelay+1e-9 {
+			t.Fatalf("delay rose with L2 size: %v", row)
+		}
+		prevWorth, prevDelay = worth, delay
+		if lhr := cell(t, row[2]); lhr <= 0.2 {
+			t.Fatalf("L2 local hit ratio %.3f useless: %v", lhr, row)
+		}
+	}
+}
+
+func TestSectorThreeWayTradeoff(t *testing.T) {
+	arts := runOne(t, "sector")
+	rows := arts[0].Table.Rows
+	if len(rows)%3 != 0 {
+		t.Fatalf("rows = %d, want triples", len(rows))
+	}
+	for i := 0; i+2 < len(rows); i += 3 {
+		smallTags, largeTags, sectTags := cell(t, rows[i][2]), cell(t, rows[i+1][2]), cell(t, rows[i+2][2])
+		if sectTags != largeTags || sectTags >= smallTags {
+			t.Fatalf("tag amortization wrong: %v / %v / %v", smallTags, largeTags, sectTags)
+		}
+		sectTraffic := cell(t, rows[i+2][4])
+		largeTraffic := cell(t, rows[i+1][4])
+		if sectTraffic > largeTraffic {
+			t.Fatalf("sector traffic %.2f above 64B-line traffic %.2f", sectTraffic, largeTraffic)
+		}
+		sectHR := cell(t, rows[i+2][3])
+		largeHR := cell(t, rows[i+1][3])
+		if sectHR > largeHR+1e-9 {
+			t.Fatalf("sector hit ratio %.4f above whole-line %.4f", sectHR, largeHR)
+		}
+	}
+}
+
+func TestEndToEndResidualSmall(t *testing.T) {
+	arts := runOne(t, "endtoend")
+	for _, row := range arts[0].Table.Rows {
+		res := cell(t, row[5])
+		// The engine should land within 15% of the predicted
+		// equivalence despite discrete cache sizes and finite buffers.
+		if res < -15 || res > 15 {
+			t.Fatalf("end-to-end residual %.1f%% too large: %v", res, row)
+		}
+	}
+}
+
+func TestSeedSensitivitySmall(t *testing.T) {
+	arts := runOne(t, "seeds")
+	for _, row := range arts[0].Table.Rows {
+		if spread := cell(t, row[4]); spread > 5 {
+			t.Fatalf("seed spread %.2f points of L/D too large: %v", spread, row)
+		}
+	}
+}
+
+func TestTable1Complete(t *testing.T) {
+	arts := runOne(t, "table1")
+	out := arts[0].Render()
+	for _, sym := range []string{"D", "L", "beta_m", "E", "R", "W", "alpha", "phi", "q"} {
+		if !strings.Contains(out, sym) {
+			t.Fatalf("table1 missing %q:\n%s", sym, out)
+		}
+	}
+}

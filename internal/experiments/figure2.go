@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tradeoff/internal/core"
+	"tradeoff/internal/plot"
+)
+
+// fig2Betas is the βm sweep of Figure 2 (the design limit is βm = 2).
+func fig2Betas(o Options) []float64 {
+	if o.Fast {
+		return []float64{2, 6, 12, 20}
+	}
+	betas := make([]float64, 0, 19)
+	for b := 2.0; b <= 20; b++ {
+		betas = append(betas, b)
+	}
+	return betas
+}
+
+// Figure2 reproduces Figure 2: the hit ratio traded by doubling the
+// data bus from 32 to 64 bits, versus memory cycle time, for line sizes
+// 8, 16 and 32 bytes, at base hit ratios 98% (upper panel) and 90%
+// (lower panel). Full-stalling caches, α = α' = 0.5, D = 4 bytes.
+func Figure2(o Options) ([]Artifact, error) {
+	const alpha = 0.5
+	var arts []Artifact
+	for _, base := range []float64{0.98, 0.90} {
+		chart := plot.Chart{
+			Title: fmt.Sprintf(
+				"Figure 2 (base HR %.0f%%): Hit Ratio Traded by Doubling the Bus (FS, alpha=0.5, D=4)", 100*base),
+			XLabel: "memory cycle time per 4 bytes",
+			YLabel: "hit ratio traded (%)",
+		}
+		for _, l := range []float64{32, 16, 8} {
+			s := plot.Series{Name: fmt.Sprintf("L=%g", l)}
+			for _, b := range fig2Betas(o) {
+				tr, err := core.FeatureTradeoff(core.FeatureSpec{Feature: core.FeatureDoubleBus}, base, alpha, l, 4, b)
+				if err != nil {
+					return nil, fmt.Errorf("figure2: L=%g βm=%g: %w", l, b, err)
+				}
+				s.X = append(s.X, b)
+				s.Y = append(s.Y, 100*tr.DeltaHR)
+			}
+			chart.Series = append(chart.Series, s)
+		}
+		name := fmt.Sprintf("figure2_hr%.0f", 100*base)
+		arts = append(arts, Artifact{ID: "E4", Name: name, Title: chart.Title, Chart: &chart})
+	}
+	return arts, nil
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tradeoff/internal/core"
+	"tradeoff/internal/plot"
+	"tradeoff/internal/stall"
+)
+
+// unifiedConfig describes one of the unified-comparison figures:
+// Figure 3 (L=8, BNL1), Figure 4 (L=32, BNL1), Figure 5 (L=32, BNL3).
+type unifiedConfig struct {
+	id, name, figure string
+	l                float64
+	bnl              stall.Feature
+}
+
+// unifiedBetas is the βm sweep of Figures 3–5.
+func unifiedBetas(o Options) []float64 {
+	if o.Fast {
+		return []float64{2, 6, 12, 20}
+	}
+	betas := make([]float64, 0, 19)
+	for b := 2.0; b <= 20; b++ {
+		betas = append(betas, b)
+	}
+	return betas
+}
+
+// unified produces one unified-comparison chart: the hit ratio traded
+// by each feature versus the non-pipelined memory cycle time, on the
+// common baseline of a full-blocking cache with base hit ratio 95%,
+// 50% flushes, D = 4 and q = 2 (§5.3).
+func unified(cfg unifiedConfig, o Options) ([]Artifact, error) {
+	const (
+		baseHR = 0.95
+		alpha  = 0.5
+		d      = 4.0
+		q      = 2.0
+	)
+	betas := unifiedBetas(o)
+	chart := plot.Chart{
+		Title: fmt.Sprintf("%s: Architectural Tradeoff (50%% flushes, L=%g, D=4, q=2, base HR=95%%)",
+			cfg.figure, cfg.l),
+		XLabel: "non-pipelined memory cycle time per 4 bytes",
+		YLabel: "hit ratio traded (%)",
+	}
+
+	curve := func(name string, spec func(betaM float64) (core.FeatureSpec, error)) error {
+		s := plot.Series{Name: name}
+		for _, b := range betas {
+			sp, err := spec(b)
+			if err != nil {
+				return fmt.Errorf("%s at βm=%g: %w", name, b, err)
+			}
+			tr, err := core.FeatureTradeoff(sp, baseHR, alpha, cfg.l, d, b)
+			if err != nil {
+				return fmt.Errorf("%s at βm=%g: %w", name, b, err)
+			}
+			s.X = append(s.X, b)
+			s.Y = append(s.Y, 100*tr.DeltaHR)
+		}
+		chart.Series = append(chart.Series, s)
+		return nil
+	}
+
+	fixed := func(spec core.FeatureSpec) func(float64) (core.FeatureSpec, error) {
+		return func(float64) (core.FeatureSpec, error) { return spec, nil }
+	}
+	if err := curve("pipelined mem", fixed(core.FeatureSpec{Feature: core.FeaturePipelinedMemory, Q: q})); err != nil {
+		return nil, err
+	}
+	if err := curve("doubling bus", fixed(core.FeatureSpec{Feature: core.FeatureDoubleBus})); err != nil {
+		return nil, err
+	}
+	if err := curve("write buffers", fixed(core.FeatureSpec{Feature: core.FeatureWriteBuffers})); err != nil {
+		return nil, err
+	}
+	// The BNL curve uses the average stalling factor measured from the
+	// simulations at each memory cycle time, like the paper.
+	err := curve(cfg.bnl.String(), func(betaM float64) (core.FeatureSpec, error) {
+		phi, err := MeasurePhi(cfg.bnl, int64(betaM), int(cfg.l), o)
+		if err != nil {
+			return core.FeatureSpec{}, err
+		}
+		// Clamp into Table 2's [1, L/D] bounds against sampling noise.
+		if phi < 1 {
+			phi = 1
+		}
+		if max := cfg.l / d; phi > max {
+			phi = max
+		}
+		return core.FeatureSpec{Feature: core.FeaturePartialStall, Phi: phi}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return []Artifact{{ID: cfg.id, Name: cfg.name, Title: chart.Title, Chart: &chart}}, nil
+}
+
+// Figure3 reproduces Figure 3: the unified tradeoff for L = 8 bytes
+// with the BNL1 stalling feature.
+func Figure3(o Options) ([]Artifact, error) {
+	return unified(unifiedConfig{id: "E5", name: "figure3", figure: "Figure 3", l: 8, bnl: stall.BNL1}, o)
+}
+
+// Figure4 reproduces Figure 4: the unified tradeoff for L = 32 bytes
+// with the BNL1 stalling feature.
+func Figure4(o Options) ([]Artifact, error) {
+	return unified(unifiedConfig{id: "E6", name: "figure4", figure: "Figure 4", l: 32, bnl: stall.BNL1}, o)
+}
+
+// Figure5 reproduces Figure 5: the unified tradeoff for L = 32 bytes
+// with the BNL3 stalling feature.
+func Figure5(o Options) ([]Artifact, error) {
+	return unified(unifiedConfig{id: "E7", name: "figure5", figure: "Figure 5", l: 32, bnl: stall.BNL3}, o)
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tradeoff/internal/area"
+	"tradeoff/internal/core"
+	"tradeoff/internal/missratio"
+	"tradeoff/internal/plot"
+)
+
+// PinArea (E20) quantifies §5.2's implication: the chip area (in
+// register-bit equivalents) a designer must add to the on-chip cache to
+// equal a doubled external data bus, versus the package pins the
+// narrow bus saves. The paper's observation, reproduced here: for a
+// small cache the area cost is modest, while "increasing the bus width
+// is more advantageous for trading the chip area when the cache is
+// large" — the absolute area the bus replaces grows with cache size.
+func PinArea(Options) ([]Artifact, error) {
+	const (
+		alpha = 0.5
+		line  = 32
+		d     = 4.0
+		betaM = 10.0
+	)
+	m := missratio.DefaultModel()
+	bus := area.Pins{DataBits: 32, AddrBits: 32, Control: 40}
+	sizes := []int{4 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10, 128 << 10, 256 << 10}
+
+	t := plot.Table{
+		Title: "Pin count vs chip area (§5.2): cache growth equivalent to doubling a 32-bit bus " +
+			"(design-target hit ratios, L=32, beta_m=10)",
+		Columns: []string{"base cache", "base HR", "needed HR", "equivalent cache", "area delta (rbe)", "area ratio", "pins saved"},
+	}
+	for _, base := range sizes {
+		hr := 1 - m.MissRatio(base, line)
+		eq, err := core.ExampleOne(hr, hr, alpha, line, d, betaM)
+		if err != nil {
+			return nil, err
+		}
+		// Find the smallest swept size whose design-target hit ratio
+		// covers the needed HR.
+		match := 0
+		for _, cand := range sizes {
+			if cand > base && 1-m.MissRatio(cand, line) >= eq.NeededHR {
+				match = cand
+				break
+			}
+		}
+		if match == 0 {
+			t.AddRowf(fmt.Sprintf("%dK", base>>10), hr, eq.NeededHR, "beyond sweep", "-", "-", bus.DoubleBus().DataBits-bus.DataBits)
+			continue
+		}
+		ex, err := area.BusVsCache(
+			area.CacheGeometry{Size: base, LineSize: line, Assoc: 2},
+			area.CacheGeometry{Size: match, LineSize: line, Assoc: 2},
+			bus,
+		)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRowf(fmt.Sprintf("%dK", base>>10), hr, eq.NeededHR,
+			fmt.Sprintf("%dK", match>>10), ex.DeltaRBE, ex.AreaRatio, ex.PinsSaved)
+	}
+	return []Artifact{{ID: "E20", Name: "pinarea", Title: t.Title, Table: &t}}, nil
+}

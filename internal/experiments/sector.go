@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tradeoff/internal/cache"
+	"tradeoff/internal/plot"
+	"tradeoff/internal/trace"
+)
+
+// Sector (E27) measures the three-way structural tradeoff behind the
+// Alpert & Flynn tag-amortization argument the paper cites ([6]):
+// versus a conventional small-line cache and a conventional large-line
+// cache of equal capacity, a sector cache (large sector, small
+// sub-block) keeps the small cache's fill traffic and the large
+// cache's tag count, paying with a hit ratio between the two (no
+// spatial prefetch from whole-sector fills).
+func Sector(o Options) ([]Artifact, error) {
+	const (
+		size = 8 << 10
+		d    = 4
+	)
+	t := plot.Table{
+		Title:   "Sector caches vs conventional (8K, swm256 + zipf workloads): tags / hit ratio / traffic per ref",
+		Columns: []string{"workload", "organization", "tags", "hit ratio", "traffic B/ref"},
+	}
+	workloads := []struct {
+		name string
+		refs []trace.Ref
+	}{
+		{"swm256", trace.Collect(trace.MustProgram(trace.Swm256, o.seed()), o.refsPerProgram())},
+		{"zipf", trace.Collect(trace.ZipfReuse(trace.ZipfReuseConfig{
+			Seed: o.seed(), Base: 0x1000_0000, Lines: 65536, Theta: 1.5, WriteFrac: 0.3}), o.refsPerProgram())},
+	}
+	for _, w := range workloads {
+		n := float64(len(w.refs))
+
+		small := cache.MustNew(cache.Config{Size: size, LineSize: 8, Assoc: 2})
+		large := cache.MustNew(cache.Config{Size: size, LineSize: 64, Assoc: 2})
+		sect, err := cache.NewSector(size, 64, 8, 2)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range w.refs {
+			small.Access(r.Addr, r.Write)
+			large.Access(r.Addr, r.Write)
+			sect.Access(r.Addr, r.Write)
+		}
+		t.AddRowf(w.name, "8B lines", size/8, small.Stats().HitRatio(),
+			float64(small.Stats().Traffic(8, d))/n)
+		t.AddRowf(w.name, "64B lines", size/64, large.Stats().HitRatio(),
+			float64(large.Stats().Traffic(64, d))/n)
+		t.AddRowf(w.name, "64B sector / 8B sub", sect.TagCount(), sect.Stats().HitRatio(),
+			float64(sect.Stats().Traffic(8))/n)
+	}
+	// Sanity formatting guard: the table always has 3 rows per workload.
+	if len(t.Rows) != 3*len(workloads) {
+		return nil, fmt.Errorf("sector: %d rows", len(t.Rows))
+	}
+	return []Artifact{{ID: "E27", Name: "sector", Title: t.Title, Table: &t}}, nil
+}

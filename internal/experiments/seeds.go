@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"tradeoff/internal/memory"
+	"tradeoff/internal/plot"
+	"tradeoff/internal/stall"
+	"tradeoff/internal/stats"
+	"tradeoff/internal/trace"
+)
+
+// Seeds (E29) checks that the simulation-backed results are stable
+// under the one arbitrary choice the reproduction makes — the trace
+// seed. The measured stalling-factor averages must agree across seeds
+// to within a couple of points of L/D, or the Figure 1/3/4/5 curves
+// would be RNG artifacts rather than workload properties.
+func Seeds(o Options) ([]Artifact, error) {
+	seeds := []uint64{1994, 7, 123457}
+	betas := []int64{2, 10}
+	if o.Fast {
+		betas = []int64{10}
+	}
+	t := plot.Table{
+		Title:   "Seed sensitivity: BNL3 stalling factor (% of L/D, avg of six models) across trace seeds",
+		Columns: []string{"betaM", "seed 1994", "seed 7", "seed 123457", "spread (max-min)"},
+	}
+	for _, b := range betas {
+		var fracs []float64
+		for _, seed := range seeds {
+			cfg := stall.Config{
+				Cache:   fig1Cache(),
+				Memory:  memory.Config{BetaM: b, BusWidth: 4},
+				Feature: stall.BNL3,
+			}
+			_, avg, err := stall.AverageOverPrograms(cfg, trace.Programs(), o.refsPerProgram(), seed)
+			if err != nil {
+				return nil, err
+			}
+			fracs = append(fracs, 100*avg.PhiFraction)
+		}
+		sum, err := stats.Summarize(fracs)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRowf(b, fracs[0], fracs[1], fracs[2], sum.Max-sum.Min)
+	}
+	return []Artifact{{ID: "E29", Name: "seeds", Title: t.Title, Table: &t}}, nil
+}

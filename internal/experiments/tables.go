@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tradeoff/internal/core"
+	"tradeoff/internal/plot"
+)
+
+// Table1 reproduces the paper's Table 1: the architectural parameters
+// and their meanings, annotated with where this repository sets or
+// measures each one.
+func Table1(Options) ([]Artifact, error) {
+	t := plot.Table{
+		Title:   "Table 1: Architectural Parameters",
+		Columns: []string{"symbol", "meaning", "in this repository"},
+	}
+	t.AddRow("D", "processor external data bus width in bytes (4, 8, 16, 32)", "memory.Config.BusWidth, core params")
+	t.AddRow("L", "cache line size in bytes", "cache.Config.LineSize")
+	t.AddRow("beta_m", "memory cycle time for a D-byte read/write", "memory.Config.BetaM")
+	t.AddRow("E", "instructions executed", "measured: trace instruction indices")
+	t.AddRow("R", "data bytes read in full bus width on read misses", "measured: cache.AppProfile.R")
+	t.AddRow("R_I", "instruction bytes read on I-cache misses", "measured from trace.IFetch streams")
+	t.AddRow("W", "write-around miss instructions using the bus", "measured: cache.AppProfile.W")
+	t.AddRow("alpha", "cache line flush ratio (dirty copy-backs / fetches)", "measured: cache.Stats.FlushRatio; 0.5 in analytic studies")
+	t.AddRow("phi", "stalling factor (Table 2)", "measured: stall.Result.Phi")
+	t.AddRow("q", "pipelined memory readiness interval", "memory.Config.Q (Eq. 9)")
+	return []Artifact{{ID: "E0", Name: "table1", Title: t.Title, Table: &t}}, nil
+}
+
+// Table2 reproduces the paper's Table 2: the processor stalling
+// features and the bounds of their stalling factors φ.
+func Table2(Options) ([]Artifact, error) {
+	t := plot.Table{
+		Title:   "Table 2: Processor Stalling Features",
+		Columns: []string{"feature", "meaning", "stalling factor"},
+	}
+	t.AddRow("FS", "full stalling", "phi = L/D")
+	t.AddRow("BL", "bus-locked", "1 <= phi <= L/D")
+	t.AddRow("BNL", "bus-not-locked (BNL1/BNL2/BNL3)", "1 <= phi <= L/D")
+	t.AddRow("NB", "non-blocking", "0 <= phi <= L/D")
+	return []Artifact{{ID: "E1", Name: "table2", Title: t.Title, Table: &t}}, nil
+}
+
+// table3Point is one design point Table 3 is evaluated at.
+type table3Point struct {
+	l, d, betaM float64
+}
+
+// Table3 reproduces Table 3: the ratio of cache misses r for each
+// architectural feature under a write-allocate cache (W = 0), shown
+// symbolically and evaluated at representative design points. The
+// partially-stalling row uses φ at its best value 1; q = 2 for the
+// pipelined memory.
+func Table3(Options) ([]Artifact, error) {
+	const alpha = 0.5
+	points := []table3Point{
+		{8, 4, 2}, {8, 4, 10}, {32, 4, 2}, {32, 4, 10}, {32, 4, 20},
+	}
+	t := plot.Table{
+		Title: "Table 3: Ratio of Cache Misses r per Feature (write allocate, alpha=0.5, phi_PS=1, q=2)",
+		Columns: []string{
+			"feature", "r (symbolic)",
+			"L=8,D=4,bm=2", "L=8,D=4,bm=10", "L=32,D=4,bm=2", "L=32,D=4,bm=10", "L=32,D=4,bm=20",
+		},
+	}
+	rows := []struct {
+		name     string
+		symbolic string
+		spec     core.FeatureSpec
+	}{
+		{"doubling bus", "((L/D+aL/D)bm-1)/((L/2D+aL/2D)bm-1)", core.FeatureSpec{Feature: core.FeatureDoubleBus}},
+		{"partially stalling (BL,BNL)", "((L/D+aL/D)bm-1)/((phi+aL/D)bm-1)", core.FeatureSpec{Feature: core.FeaturePartialStall, Phi: 1}},
+		{"write buffers", "((L/D+aL/D)bm-1)/((L/D)bm-1)", core.FeatureSpec{Feature: core.FeatureWriteBuffers}},
+		{"pipelined memory", "((L/D+aL/D)bm-1)/((1+a)bp-1)", core.FeatureSpec{Feature: core.FeaturePipelinedMemory, Q: 2}},
+	}
+	for _, row := range rows {
+		cells := []string{row.name, row.symbolic}
+		for _, pt := range points {
+			r, err := core.MissRatioOfCaches(row.spec, alpha, pt.l, pt.d, pt.betaM)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, fmt.Sprintf("%.3f", r))
+		}
+		t.AddRow(cells...)
+	}
+	return []Artifact{{ID: "E2", Name: "table3", Title: t.Title, Table: &t}}, nil
+}

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"math"
+
+	"tradeoff/internal/cache"
+	"tradeoff/internal/core"
+	"tradeoff/internal/plot"
+	"tradeoff/internal/trace"
+)
+
+// Traffic (E21) quantifies §2's warning that "optimizing the design
+// space around hit ratio or memory traffic may not produce a
+// cost-effective system": across a line-size sweep, the line that
+// minimizes bus traffic differs from the line that minimizes mean
+// memory delay — and both differ from the hit-ratio optimum, which
+// just wants the largest non-polluting line. A second table contrasts
+// write-back and write-through traffic on reuse-heavy vs streaming
+// workloads.
+func Traffic(o Options) ([]Artifact, error) {
+	const (
+		size  = 8 << 10
+		d     = 4
+		betaM = 6.0
+		c0    = 5.0 // fill latency constant for the delay metric
+	)
+	lines := []int{8, 16, 32, 64, 128}
+	refs := trace.Collect(trace.MustProgram(trace.Hydro2D, o.seed()), o.refsPerProgram())
+
+	t := plot.Table{
+		Title:   "Traffic vs delay vs hit ratio across line sizes (hydro2d model, 8K 2-way, D=4)",
+		Columns: []string{"line", "hit ratio", "traffic bytes/ref", "mean delay/ref", "traffic-optimal", "delay-optimal", "hitratio-optimal"},
+	}
+	type row struct {
+		line    int
+		hr      float64
+		traffic float64
+		delay   float64
+	}
+	var rows []row
+	for _, ls := range lines {
+		c, err := cache.New(cache.Config{Size: size, LineSize: ls, Assoc: 2})
+		if err != nil {
+			return nil, err
+		}
+		p := cache.Measure(c, refs)
+		tr := float64(c.Stats().Traffic(ls, d)) / float64(p.Refs)
+		delay := core.MeanDelayPerRef(p.HitRatio, c0, betaM, float64(ls), d)
+		rows = append(rows, row{ls, p.HitRatio, tr, delay})
+	}
+	argmin := func(f func(row) float64) int {
+		best, bestV := 0, math.Inf(1)
+		for _, r := range rows {
+			if v := f(r); v < bestV {
+				best, bestV = r.line, v
+			}
+		}
+		return best
+	}
+	trafficOpt := argmin(func(r row) float64 { return r.traffic })
+	delayOpt := argmin(func(r row) float64 { return r.delay })
+	hrOpt := argmin(func(r row) float64 { return -r.hr })
+	for _, r := range rows {
+		mark := func(opt int) string {
+			if r.line == opt {
+				return "<=="
+			}
+			return ""
+		}
+		t.AddRowf(r.line, r.hr, r.traffic, r.delay, mark(trafficOpt), mark(delayOpt), mark(hrOpt))
+	}
+
+	// Write-policy traffic comparison.
+	wp := plot.Table{
+		Title:   "Write-back vs write-through bus traffic (bytes/ref, L=32, D=4)",
+		Columns: []string{"workload", "write-back", "write-through", "lower-traffic policy"},
+	}
+	workloads := []struct {
+		name string
+		refs []trace.Ref
+		size int
+	}{
+		{"zipf high-reuse (32K)", trace.Collect(trace.ZipfReuse(trace.ZipfReuseConfig{
+			Seed: o.seed(), Lines: 65536, Theta: 1.5, WriteFrac: 0.3}), o.refsPerProgram()), 32 << 10},
+		{"swm256 streaming (8K)", trace.Collect(trace.MustProgram(trace.Swm256, o.seed()), o.refsPerProgram()), 8 << 10},
+	}
+	for _, w := range workloads {
+		var per [2]float64
+		for i, pol := range []cache.WritePolicy{cache.WriteBack, cache.WriteThrough} {
+			c, err := cache.New(cache.Config{Size: w.size, LineSize: 32, Assoc: 2, Write: pol})
+			if err != nil {
+				return nil, err
+			}
+			p := cache.Measure(c, w.refs)
+			per[i] = float64(c.Stats().Traffic(32, d)) / float64(p.Refs)
+		}
+		winner := "write-back"
+		if per[1] < per[0] {
+			winner = "write-through"
+		}
+		wp.AddRowf(w.name, per[0], per[1], winner)
+	}
+
+	return []Artifact{
+		{ID: "E21", Name: "traffic", Title: t.Title, Table: &t},
+		{ID: "E21", Name: "traffic_writepolicy", Title: wp.Title, Table: &wp},
+	}, nil
+}

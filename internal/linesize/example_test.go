@@ -1,0 +1,46 @@
+package linesize_test
+
+import (
+	"fmt"
+
+	"tradeoff/internal/linesize"
+	"tradeoff/internal/missratio"
+)
+
+// Selecting the optimal line size for Figure 6(a)'s design point:
+// Smith's criterion and the paper's Eq. (19) must agree.
+func ExampleSmithOptimal() {
+	cfg := linesize.Config{
+		CacheSize: 16 << 10,
+		BusWidth:  4,
+		LatencyNS: 360,
+		NSPerByte: 15,
+		Lines:     []int{8, 16, 32, 64, 128},
+	}
+	m := missratio.DefaultModel()
+	smith, _ := linesize.SmithOptimal(m, cfg, 2)
+	eq19, _ := linesize.Eq19Optimal(m, cfg, 2)
+	fmt.Printf("Smith: %dB, Eq.19: %dB\n", smith, eq19)
+	// Output:
+	// Smith: 32B, Eq.19: 32B
+}
+
+// The reduced memory delay of each candidate line against the 8-byte
+// base (Eq. 19): positive values justify the larger line.
+func ExampleReducedDelays() {
+	cfg := linesize.Config{
+		CacheSize: 16 << 10,
+		BusWidth:  4,
+		LatencyNS: 360,
+		NSPerByte: 15,
+		Lines:     []int{8, 32, 128},
+	}
+	pts, _ := linesize.ReducedDelays(missratio.DefaultModel(), cfg, 2)
+	for _, p := range pts {
+		fmt.Printf("L=%3d: %+.4f\n", p.Line, p.Reduced)
+	}
+	// Output:
+	// L=  8: +0.0000
+	// L= 32: +0.4889
+	// L=128: -0.1193
+}

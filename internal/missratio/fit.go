@@ -1,0 +1,122 @@
+package missratio
+
+import (
+	"fmt"
+	"math"
+)
+
+// Fit calibrates a parametric Model against an empirical Table (for
+// example one measured by the cache simulator), minimizing the mean
+// squared error of log miss ratios over the table's points. It bridges
+// the two Surface implementations: sweep a workload once, fit, and the
+// resulting closed form extrapolates to geometries the sweep never
+// ran.
+//
+// The search is a coarse-to-fine grid over (γ, σ, k) with A solved in
+// closed form at each candidate (the log-space MSE is linear in
+// log A). It is deliberately simple — the model has three shape
+// parameters and well-behaved curvature, so a grid beats a fragile
+// gradient method.
+func Fit(t *Table) (Model, error) {
+	if t == nil || t.Len() < 4 {
+		return Model{}, fmt.Errorf("missratio: need at least 4 points to fit, have %d", lenOrZero(t))
+	}
+	type point struct {
+		size, line int
+		logMR      float64
+	}
+	var pts []point
+	for _, size := range t.Sizes() {
+		for _, line := range t.Lines(size) {
+			mr, _ := t.Lookup(size, line)
+			if mr <= 0 || mr > 1 {
+				return Model{}, fmt.Errorf("missratio: unfittable miss ratio %g at (%d, %d)", mr, size, line)
+			}
+			pts = append(pts, point{size, line, math.Log(mr)})
+		}
+	}
+
+	const c0 = 16 << 10
+	// shape returns log of the model's shape factor (without A) and
+	// solves the optimal log A for the candidate.
+	evaluate := func(gamma, sigma, k float64) (logA, mse float64) {
+		ref := math.Pow(32, -sigma) + k*32/float64(c0)
+		var sum float64
+		shapes := make([]float64, len(pts))
+		for i, p := range pts {
+			s := math.Pow(float64(p.size)/c0, -gamma) *
+				(math.Pow(float64(p.line), -sigma) + k*float64(p.line)/float64(p.size)) / ref
+			shapes[i] = math.Log(s)
+			sum += p.logMR - shapes[i]
+		}
+		logA = sum / float64(len(pts))
+		for i, p := range pts {
+			d := p.logMR - (logA + shapes[i])
+			mse += d * d
+		}
+		return logA, mse / float64(len(pts))
+	}
+
+	best := Model{C0: c0}
+	bestMSE := math.Inf(1)
+	// Coarse-to-fine grid refinement.
+	gLo, gHi := 0.05, 0.8
+	sLo, sHi := 0.2, 1.2
+	kLo, kHi := 0.1, 10.0
+	for pass := 0; pass < 4; pass++ {
+		const steps = 8
+		gStep := (gHi - gLo) / steps
+		sStep := (sHi - sLo) / steps
+		kStep := (kHi - kLo) / steps
+		var bg, bs, bk float64
+		for g := gLo; g <= gHi+1e-12; g += gStep {
+			for s := sLo; s <= sHi+1e-12; s += sStep {
+				for k := kLo; k <= kHi+1e-12; k += kStep {
+					logA, mse := evaluate(g, s, k)
+					if mse < bestMSE {
+						bestMSE = mse
+						bg, bs, bk = g, s, k
+						best = Model{A: math.Exp(logA), C0: c0, Gamma: g, Sigma: s, K: k}
+					}
+				}
+			}
+		}
+		// Zoom around the winner.
+		gLo, gHi = math.Max(0.01, bg-gStep), bg+gStep
+		sLo, sHi = math.Max(0.05, bs-sStep), bs+sStep
+		kLo, kHi = math.Max(0.01, bk-kStep), bk+kStep
+	}
+	if math.IsInf(bestMSE, 1) {
+		return Model{}, fmt.Errorf("missratio: fit did not converge")
+	}
+	return best, nil
+}
+
+// FitError returns the root-mean-square error of log miss ratios of a
+// model against a table — the quantity Fit minimizes.
+func FitError(m Model, t *Table) (float64, error) {
+	if t == nil || t.Len() == 0 {
+		return 0, fmt.Errorf("missratio: empty table")
+	}
+	var sum float64
+	n := 0
+	for _, size := range t.Sizes() {
+		for _, line := range t.Lines(size) {
+			mr, _ := t.Lookup(size, line)
+			if mr <= 0 {
+				return 0, fmt.Errorf("missratio: non-positive miss ratio at (%d, %d)", size, line)
+			}
+			d := math.Log(mr) - math.Log(m.MissRatio(size, line))
+			sum += d * d
+			n++
+		}
+	}
+	return math.Sqrt(sum / float64(n)), nil
+}
+
+func lenOrZero(t *Table) int {
+	if t == nil {
+		return 0
+	}
+	return t.Len()
+}

@@ -1,0 +1,94 @@
+package missratio
+
+import (
+	"math"
+	"testing"
+
+	"tradeoff/internal/cache"
+	"tradeoff/internal/trace"
+)
+
+func TestFitRecoversModel(t *testing.T) {
+	// Generate a table from a known model; the fit must reproduce its
+	// miss ratios closely (parameters may trade off against each other,
+	// so compare predictions, not parameters).
+	truth := Model{A: 0.035, C0: 16 << 10, Gamma: 0.25, Sigma: 0.65, K: 2.0}
+	tab := NewTable()
+	for _, size := range []int{4 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10} {
+		for _, line := range []int{8, 16, 32, 64, 128} {
+			tab.Set(size, line, truth.MissRatio(size, line))
+		}
+	}
+	fitted, err := Fit(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rmse, err := FitError(fitted, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmse > 0.02 {
+		t.Fatalf("fit RMSE (log space) = %.4f, want < 0.02 on self-generated data", rmse)
+	}
+	// Extrapolation to an unseen geometry stays close.
+	want := truth.MissRatio(128<<10, 32)
+	got := fitted.MissRatio(128<<10, 32)
+	if math.Abs(math.Log(got)-math.Log(want)) > 0.15 {
+		t.Fatalf("extrapolated MR %.5f vs truth %.5f", got, want)
+	}
+}
+
+func TestFitSimulatedData(t *testing.T) {
+	// Fit against simulator-measured miss ratios: the closed form must
+	// describe the sweep to within a factor-level tolerance and keep
+	// the qualitative structure (decreasing in size).
+	refs := trace.Collect(trace.ZipfReuse(trace.ZipfReuseConfig{
+		Seed: 5, Lines: 65536, Theta: 1.2, WriteFrac: 0.3}), 200000)
+	tab := NewTable()
+	for _, size := range []int{4 << 10, 8 << 10, 16 << 10, 32 << 10} {
+		for _, line := range []int{16, 32, 64} {
+			c := cache.MustNew(cache.Config{Size: size, LineSize: line, Assoc: 2})
+			p := cache.Measure(c, refs)
+			tab.Set(size, line, 1-p.HitRatio)
+		}
+	}
+	fitted, err := Fit(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rmse, err := FitError(fitted, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmse > 0.5 { // within ~65% multiplicative everywhere
+		t.Fatalf("fit RMSE %.3f on simulated data too large", rmse)
+	}
+	if fitted.MissRatio(64<<10, 32) >= fitted.MissRatio(4<<10, 32) {
+		t.Fatal("fitted model lost size monotonicity")
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(nil); err == nil {
+		t.Fatal("nil table accepted")
+	}
+	small := NewTable()
+	small.Set(8<<10, 32, 0.05)
+	if _, err := Fit(small); err == nil {
+		t.Fatal("tiny table accepted")
+	}
+	bad := NewTable()
+	bad.Set(8<<10, 8, 0.0)
+	bad.Set(8<<10, 16, 0.1)
+	bad.Set(8<<10, 32, 0.1)
+	bad.Set(8<<10, 64, 0.1)
+	if _, err := Fit(bad); err == nil {
+		t.Fatal("zero miss ratio accepted")
+	}
+	if _, err := FitError(DefaultModel(), NewTable()); err == nil {
+		t.Fatal("FitError accepted empty table")
+	}
+	if _, err := FitError(DefaultModel(), bad); err == nil {
+		t.Fatal("FitError accepted non-positive entries")
+	}
+}

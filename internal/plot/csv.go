@@ -1,0 +1,85 @@
+package plot
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// WriteCSV emits a chart's data in long form — one row per point with
+// columns (series, x, y) — which re-plots cleanly in any external tool
+// regardless of whether the series share x grids.
+func WriteCSV(w io.Writer, c Chart) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"series", "x", "y"}); err != nil {
+		return err
+	}
+	for _, s := range c.Series {
+		if err := s.Validate(); err != nil {
+			return err
+		}
+		for i := range s.X {
+			rec := []string{
+				s.Name,
+				strconv.FormatFloat(s.X[i], 'g', -1, 64),
+				strconv.FormatFloat(s.Y[i], 'g', -1, 64),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// SaveCSV writes a chart's data to path, creating parent directories.
+func SaveCSV(path string, c Chart) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := WriteCSV(f, c); err != nil {
+		return fmt.Errorf("plot: writing %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// WriteTableCSV emits a Table as CSV with its column header.
+func WriteTableCSV(w io.Writer, t Table) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// SaveTableCSV writes a table's data to path, creating parent
+// directories.
+func SaveTableCSV(path string, t Table) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := WriteTableCSV(f, t); err != nil {
+		return fmt.Errorf("plot: writing %s: %w", path, err)
+	}
+	return f.Close()
+}

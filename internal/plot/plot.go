@@ -1,0 +1,262 @@
+// Package plot renders data series as ASCII line charts, aligned text
+// tables, and CSV files.
+//
+// The reproduction hint for this paper calls out that its analysis
+// tooling is thin: the original figures were hand-plotted curves. This
+// package gives every experiment a uniform way to (a) show a figure in
+// a terminal and (b) emit machine-readable CSV next to it so the curves
+// can be re-plotted with any external tool.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one named curve: parallel X and Y slices.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Validate reports structural problems (mismatched lengths, NaNs).
+func (s Series) Validate() error {
+	if len(s.X) != len(s.Y) {
+		return fmt.Errorf("plot: series %q has %d x values but %d y values", s.Name, len(s.X), len(s.Y))
+	}
+	for i := range s.X {
+		if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+			return fmt.Errorf("plot: series %q has NaN at point %d", s.Name, i)
+		}
+	}
+	return nil
+}
+
+// Chart is a collection of series with axis labels. Render produces an
+// ASCII plot sized Width×Height characters for the data area.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	Width  int // data columns; 0 means 72
+	Height int // data rows; 0 means 20
+}
+
+// markers assigns one glyph per series, cycling if there are many.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Render draws the chart. Series are overlaid on a shared axis range
+// computed from all points; later series draw over earlier ones where
+// they collide. An empty chart renders its title and a note.
+func (c Chart) Render() string {
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	pts := 0
+	for _, s := range c.Series {
+		pts += len(s.X)
+	}
+	if pts == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = 72
+	}
+	if h <= 0 {
+		h = 20
+	}
+
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for i := range s.X {
+			xmin, xmax = math.Min(xmin, s.X[i]), math.Max(xmax, s.X[i])
+			ymin, ymax = math.Min(ymin, s.Y[i]), math.Max(ymax, s.Y[i])
+		}
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, h)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", w))
+	}
+	// Zero line, if zero is inside the y range.
+	if ymin < 0 && ymax > 0 {
+		if row := rowOf(0, ymin, ymax, h); row >= 0 && row < h {
+			for col := 0; col < w; col++ {
+				grid[row][col] = '-'
+			}
+		}
+	}
+	for si, s := range c.Series {
+		m := markers[si%len(markers)]
+		var prevRow, prevCol int
+		for i := range s.X {
+			col := colOf(s.X[i], xmin, xmax, w)
+			row := rowOf(s.Y[i], ymin, ymax, h)
+			if i > 0 {
+				drawLine(grid, prevCol, prevRow, col, row, m)
+			}
+			grid[row][col] = m
+			prevRow, prevCol = row, col
+		}
+	}
+
+	yLo, yHi := formatTick(ymin), formatTick(ymax)
+	labelW := len(yLo)
+	if len(yHi) > labelW {
+		labelW = len(yHi)
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, "%s\n", c.YLabel)
+	}
+	for i, row := range grid {
+		label := strings.Repeat(" ", labelW)
+		switch i {
+		case 0:
+			label = pad(yHi, labelW)
+		case h - 1:
+			label = pad(yLo, labelW)
+		case h / 2:
+			label = pad(formatTick((ymin+ymax)/2), labelW)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", labelW), strings.Repeat("-", w))
+	xLo, xHi := formatTick(xmin), formatTick(xmax)
+	gap := w - len(xLo) - len(xHi)
+	if gap < 1 {
+		gap = 1
+	}
+	fmt.Fprintf(&b, "%s  %s%s%s\n", strings.Repeat(" ", labelW), xLo, strings.Repeat(" ", gap), xHi)
+	if c.XLabel != "" {
+		fmt.Fprintf(&b, "%s  %s\n", strings.Repeat(" ", labelW), center(c.XLabel, w))
+	}
+	// Legend.
+	for si, s := range c.Series {
+		fmt.Fprintf(&b, "  %c %s\n", markers[si%len(markers)], s.Name)
+	}
+	return b.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return strings.Repeat(" ", w-len(s)) + s
+}
+
+func center(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	left := (w - len(s)) / 2
+	return strings.Repeat(" ", left) + s
+}
+
+func formatTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case v == 0:
+		return "0"
+	case av >= 1000 || av < 0.01:
+		return fmt.Sprintf("%.3g", v)
+	case av < 1:
+		return fmt.Sprintf("%.3f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+func colOf(x, xmin, xmax float64, w int) int {
+	col := int(math.Round((x - xmin) / (xmax - xmin) * float64(w-1)))
+	return clamp(col, 0, w-1)
+}
+
+func rowOf(y, ymin, ymax float64, h int) int {
+	row := int(math.Round((ymax - y) / (ymax - ymin) * float64(h-1)))
+	return clamp(row, 0, h-1)
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// drawLine connects two grid cells with marker m using a simple
+// Bresenham walk, skipping the endpoints (drawn by the caller).
+func drawLine(grid [][]byte, x0, y0, x1, y1 int, m byte) {
+	dx, dy := abs(x1-x0), -abs(y1-y0)
+	sx, sy := sign(x1-x0), sign(y1-y0)
+	err := dx + dy
+	x, y := x0, y0
+	for {
+		if x == x1 && y == y1 {
+			break
+		}
+		if (x != x0 || y != y0) && grid[y][x] == ' ' {
+			grid[y][x] = '.'
+		}
+		e2 := 2 * err
+		if e2 >= dy {
+			err += dy
+			x += sx
+		}
+		if e2 <= dx {
+			err += dx
+			y += sy
+		}
+	}
+	_ = m
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func sign(v int) int {
+	switch {
+	case v > 0:
+		return 1
+	case v < 0:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// SortedByX returns a copy of s with points ordered by ascending X,
+// which Render's line drawing assumes for sensible output.
+func SortedByX(s Series) Series {
+	idx := make([]int, len(s.X))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return s.X[idx[a]] < s.X[idx[b]] })
+	out := Series{Name: s.Name, X: make([]float64, len(s.X)), Y: make([]float64, len(s.Y))}
+	for i, j := range idx {
+		out.X[i], out.Y[i] = s.X[j], s.Y[j]
+	}
+	return out
+}

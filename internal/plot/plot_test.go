@@ -1,0 +1,231 @@
+package plot
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleChart() Chart {
+	return Chart{
+		Title:  "test chart",
+		XLabel: "x",
+		YLabel: "y",
+		Series: []Series{
+			{Name: "up", X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 2, 3}},
+			{Name: "down", X: []float64{0, 1, 2, 3}, Y: []float64{3, 2, 1, 0}},
+		},
+		Width:  40,
+		Height: 10,
+	}
+}
+
+func TestSeriesValidate(t *testing.T) {
+	good := Series{Name: "s", X: []float64{1, 2}, Y: []float64{3, 4}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid series rejected: %v", err)
+	}
+	bad := Series{Name: "s", X: []float64{1}, Y: []float64{3, 4}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+	nan := Series{Name: "s", X: []float64{1}, Y: []float64{math.NaN()}}
+	if err := nan.Validate(); err == nil {
+		t.Fatal("NaN accepted")
+	}
+}
+
+func TestRenderContainsParts(t *testing.T) {
+	out := sampleChart().Render()
+	for _, want := range []string{"test chart", "up", "down", "*", "o", "+---"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	out := Chart{Title: "empty"}.Render()
+	if !strings.Contains(out, "(no data)") {
+		t.Fatalf("empty chart render:\n%s", out)
+	}
+}
+
+func TestRenderSinglePoint(t *testing.T) {
+	c := Chart{Series: []Series{{Name: "p", X: []float64{5}, Y: []float64{7}}}}
+	out := c.Render()
+	if !strings.Contains(out, "*") {
+		t.Fatalf("single point not drawn:\n%s", out)
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	// Degenerate ranges (all x equal, all y equal) must not panic or
+	// divide by zero.
+	c := Chart{Series: []Series{{Name: "c", X: []float64{2, 2, 2}, Y: []float64{5, 5, 5}}}}
+	if out := c.Render(); !strings.Contains(out, "*") {
+		t.Fatalf("constant series missing marker:\n%s", out)
+	}
+}
+
+func TestRenderZeroLine(t *testing.T) {
+	c := Chart{
+		Series: []Series{{Name: "s", X: []float64{0, 1}, Y: []float64{-5, 5}}},
+		Width:  20, Height: 9,
+	}
+	if out := c.Render(); !strings.Contains(out, "---") {
+		t.Fatalf("no zero line for range crossing zero:\n%s", out)
+	}
+}
+
+func TestRenderMarkerAtCorners(t *testing.T) {
+	c := Chart{
+		Series: []Series{{Name: "s", X: []float64{0, 10}, Y: []float64{0, 10}}},
+		Width:  20, Height: 5,
+	}
+	lines := strings.Split(c.Render(), "\n")
+	// First grid row should contain the max-y point, last grid row the
+	// min-y point.
+	var gridLines []string
+	for _, l := range lines {
+		if strings.Contains(l, "|") {
+			gridLines = append(gridLines, l)
+		}
+	}
+	if len(gridLines) != 5 {
+		t.Fatalf("got %d grid rows, want 5", len(gridLines))
+	}
+	if !strings.Contains(gridLines[0], "*") || !strings.Contains(gridLines[4], "*") {
+		t.Fatalf("corner markers missing:\n%s", strings.Join(gridLines, "\n"))
+	}
+}
+
+func TestSortedByX(t *testing.T) {
+	s := Series{Name: "s", X: []float64{3, 1, 2}, Y: []float64{30, 10, 20}}
+	got := SortedByX(s)
+	wantX := []float64{1, 2, 3}
+	wantY := []float64{10, 20, 30}
+	for i := range wantX {
+		if got.X[i] != wantX[i] || got.Y[i] != wantY[i] {
+			t.Fatalf("SortedByX = %v/%v", got.X, got.Y)
+		}
+	}
+	// Original untouched.
+	if s.X[0] != 3 {
+		t.Fatal("SortedByX mutated its input")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, sampleChart()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "series,x,y\n") {
+		t.Fatalf("csv header wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "up,0,0") || !strings.Contains(out, "down,3,0") {
+		t.Fatalf("csv rows missing:\n%s", out)
+	}
+	lines := strings.Count(out, "\n")
+	if lines != 9 { // header + 8 points
+		t.Fatalf("csv has %d lines, want 9", lines)
+	}
+}
+
+func TestWriteCSVRejectsInvalidSeries(t *testing.T) {
+	c := Chart{Series: []Series{{Name: "bad", X: []float64{1}, Y: nil}}}
+	if err := WriteCSV(&bytes.Buffer{}, c); err == nil {
+		t.Fatal("invalid series accepted")
+	}
+}
+
+func TestSaveCSVCreatesDirs(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sub", "chart.csv")
+	if err := SaveCSV(path, sampleChart()); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "series,x,y") {
+		t.Fatal("saved csv content wrong")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := Table{Title: "Table 3", Columns: []string{"metric", "r", "X"}}
+	tab.AddRow("doubling bus", "2.5", "...")
+	tab.AddRow("write buffers", "1.2")
+	out := tab.Render()
+	if !strings.Contains(out, "Table 3") || !strings.Contains(out, "doubling bus") {
+		t.Fatalf("table render:\n%s", out)
+	}
+	// Missing cells pad to empty.
+	if strings.Count(out, "\n") != 5 { // title, header, rule, 2 rows
+		t.Fatalf("table rows wrong:\n%q", out)
+	}
+	// Columns align: header and first row start the 2nd column at the
+	// same offset.
+	lines := strings.Split(out, "\n")
+	h, r := lines[1], lines[3]
+	if strings.Index(h, " r ") != strings.Index(r, " 2.5") {
+		t.Fatalf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestTableAddRowf(t *testing.T) {
+	tab := Table{Columns: []string{"a", "b", "c"}}
+	tab.AddRowf("x", 2.53339, 7)
+	if got := tab.Rows[0][1]; got != "2.533" {
+		t.Fatalf("float formatting = %q", got)
+	}
+	if got := tab.Rows[0][2]; got != "7" {
+		t.Fatalf("int formatting = %q", got)
+	}
+}
+
+func TestWriteTableCSV(t *testing.T) {
+	tab := Table{Columns: []string{"a", "b"}}
+	tab.AddRow("1", "2")
+	var buf bytes.Buffer
+	if err := WriteTableCSV(&buf, tab); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "a,b\n1,2\n" {
+		t.Fatalf("table csv = %q", got)
+	}
+}
+
+func TestSaveTableCSV(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "deep", "t.csv")
+	tab := Table{Columns: []string{"a"}}
+	tab.AddRow("v")
+	if err := SaveTableCSV(path, tab); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		1234:    "1.23e+03",
+		0.005:   "0.005",
+		0.5:     "0.500",
+		3.14159: "3.14",
+	}
+	for v, want := range cases {
+		if got := formatTick(v); got != want {
+			t.Errorf("formatTick(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

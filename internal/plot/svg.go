@@ -1,0 +1,138 @@
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// SVG rendering: real vector figures alongside the terminal ASCII, so
+// the regenerated artifacts can go straight into a paper or web page.
+
+// svgPalette holds the series colors, chosen for contrast on white.
+var svgPalette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#9467bd",
+	"#ff7f0e", "#8c564b", "#17becf", "#7f7f7f",
+}
+
+// svgSize fixes the canvas geometry.
+const (
+	svgW, svgH             = 640, 400
+	svgMarginL, svgMarginR = 70, 160
+	svgMarginT, svgMarginB = 40, 60
+)
+
+// SVGChart renders the chart as a standalone SVG document: axes with
+// ticks, one polyline per series with point markers, a dashed zero
+// line when the y range crosses zero, and a legend.
+func SVGChart(c Chart) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="12">`+"\n", svgW, svgH)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	if c.Title != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="20" font-size="14" font-weight="bold">%s</text>`+"\n", svgMarginL, xmlEscape(c.Title))
+	}
+
+	pts := 0
+	for _, s := range c.Series {
+		pts += len(s.X)
+	}
+	plotW := svgW - svgMarginL - svgMarginR
+	plotH := svgH - svgMarginT - svgMarginB
+	if pts == 0 {
+		fmt.Fprintf(&b, `<text x="%d" y="%d">(no data)</text>`+"\n", svgMarginL, svgMarginT+plotH/2)
+		b.WriteString("</svg>\n")
+		return b.String()
+	}
+
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for i := range s.X {
+			xmin, xmax = math.Min(xmin, s.X[i]), math.Max(xmax, s.X[i])
+			ymin, ymax = math.Min(ymin, s.Y[i]), math.Max(ymax, s.Y[i])
+		}
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	px := func(x float64) float64 {
+		return svgMarginL + (x-xmin)/(xmax-xmin)*float64(plotW)
+	}
+	py := func(y float64) float64 {
+		return svgMarginT + (ymax-y)/(ymax-ymin)*float64(plotH)
+	}
+
+	// Axes.
+	fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="none" stroke="#333"/>`+"\n",
+		svgMarginL, svgMarginT, plotW, plotH)
+	// Ticks: 5 per axis.
+	for i := 0; i <= 4; i++ {
+		fx := xmin + (xmax-xmin)*float64(i)/4
+		fy := ymin + (ymax-ymin)*float64(i)/4
+		x := px(fx)
+		y := py(fy)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#333"/>`+"\n",
+			x, svgMarginT+plotH, x, svgMarginT+plotH+5)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle">%s</text>`+"\n",
+			x, svgMarginT+plotH+20, xmlEscape(formatTick(fx)))
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#333"/>`+"\n",
+			svgMarginL-5, y, svgMarginL, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" text-anchor="end" dominant-baseline="middle">%s</text>`+"\n",
+			svgMarginL-8, y, xmlEscape(formatTick(fy)))
+	}
+	// Axis labels.
+	if c.XLabel != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle">%s</text>`+"\n",
+			svgMarginL+plotW/2, svgH-15, xmlEscape(c.XLabel))
+	}
+	if c.YLabel != "" {
+		cx, cy := 18, svgMarginT+plotH/2
+		fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle" transform="rotate(-90 %d %d)">%s</text>`+"\n",
+			cx, cy, cx, cy, xmlEscape(c.YLabel))
+	}
+	// Zero line.
+	if ymin < 0 && ymax > 0 {
+		y := py(0)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#999" stroke-dasharray="4 3"/>`+"\n",
+			svgMarginL, y, svgMarginL+plotW, y)
+	}
+
+	// Series.
+	for si, s := range c.Series {
+		color := svgPalette[si%len(svgPalette)]
+		sorted := SortedByX(s)
+		var poly strings.Builder
+		for i := range sorted.X {
+			if i > 0 {
+				poly.WriteByte(' ')
+			}
+			fmt.Fprintf(&poly, "%.1f,%.1f", px(sorted.X[i]), py(sorted.Y[i]))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.5"/>`+"\n", poly.String(), color)
+		for i := range sorted.X {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="2.5" fill="%s"/>`+"\n",
+				px(sorted.X[i]), py(sorted.Y[i]), color)
+		}
+		// Legend entry.
+		ly := svgMarginT + 10 + si*18
+		lx := svgMarginL + plotW + 12
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`+"\n",
+			lx, ly, lx+18, ly, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" dominant-baseline="middle">%s</text>`+"\n",
+			lx+24, ly, xmlEscape(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// xmlEscape escapes the five XML special characters.
+func xmlEscape(s string) string {
+	r := strings.NewReplacer(
+		"&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;", "'", "&apos;",
+	)
+	return r.Replace(s)
+}

@@ -1,0 +1,79 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSVGChartStructure(t *testing.T) {
+	out := SVGChart(sampleChart())
+	for _, want := range []string{
+		"<svg", "</svg>", "test chart",
+		`<polyline`, `<circle`, "up", "down",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("svg missing %q", want)
+		}
+	}
+	// One polyline per series.
+	if got := strings.Count(out, "<polyline"); got != 2 {
+		t.Fatalf("polylines = %d, want 2", got)
+	}
+	// 4 points per series = 8 markers.
+	if got := strings.Count(out, "<circle"); got != 8 {
+		t.Fatalf("circles = %d, want 8", got)
+	}
+	// Ticks on both axes.
+	if got := strings.Count(out, "text-anchor=\"middle\""); got < 5 {
+		t.Fatalf("too few x tick labels: %d", got)
+	}
+}
+
+func TestSVGChartEmpty(t *testing.T) {
+	out := SVGChart(Chart{Title: "empty"})
+	if !strings.Contains(out, "(no data)") {
+		t.Fatalf("empty chart svg:\n%s", out)
+	}
+	if !strings.Contains(out, "</svg>") {
+		t.Fatal("svg not closed")
+	}
+}
+
+func TestSVGChartEscapesXML(t *testing.T) {
+	c := Chart{
+		Title:  `a <b> & "c"`,
+		Series: []Series{{Name: "x<y", X: []float64{0, 1}, Y: []float64{0, 1}}},
+	}
+	out := SVGChart(c)
+	if strings.Contains(out, "a <b>") || strings.Contains(out, `"c"`+` `) {
+		t.Fatal("title not escaped")
+	}
+	if !strings.Contains(out, "a &lt;b&gt; &amp; &quot;c&quot;") {
+		t.Fatalf("escaped title missing:\n%s", out)
+	}
+	if !strings.Contains(out, "x&lt;y") {
+		t.Fatal("series name not escaped")
+	}
+}
+
+func TestSVGChartZeroLine(t *testing.T) {
+	c := Chart{Series: []Series{{Name: "s", X: []float64{0, 1}, Y: []float64{-1, 1}}}}
+	if !strings.Contains(SVGChart(c), "stroke-dasharray") {
+		t.Fatal("no dashed zero line for range crossing zero")
+	}
+	pos := Chart{Series: []Series{{Name: "s", X: []float64{0, 1}, Y: []float64{1, 2}}}}
+	if strings.Contains(SVGChart(pos), "stroke-dasharray") {
+		t.Fatal("zero line drawn for all-positive range")
+	}
+}
+
+func TestSVGChartConstantSeries(t *testing.T) {
+	c := Chart{Series: []Series{{Name: "c", X: []float64{2, 2}, Y: []float64{5, 5}}}}
+	out := SVGChart(c)
+	if !strings.Contains(out, "<polyline") {
+		t.Fatal("degenerate range broke rendering")
+	}
+	if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+		t.Fatal("NaN/Inf leaked into svg")
+	}
+}

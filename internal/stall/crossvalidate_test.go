@@ -1,0 +1,96 @@
+package stall
+
+import (
+	"testing"
+
+	"tradeoff/internal/cache"
+	"tradeoff/internal/core"
+	"tradeoff/internal/memory"
+	"tradeoff/internal/trace"
+)
+
+// TestEq2PredictsEngineCycles cross-validates the analytic model
+// against the cycle-level engine: for a full-stalling cache without
+// write buffers, Eq. (2) evaluated on the measured application profile
+// must reproduce the engine's cycle count exactly, up to the known
+// accounting difference — Eq. (2) gives a missing load/store no base
+// cycle (its entire cost is φβm), while the engine's one-cycle-per-
+// instruction base includes it, so X_engine = X_eq2 + Λm.
+func TestEq2PredictsEngineCycles(t *testing.T) {
+	for _, prog := range trace.Programs() {
+		for _, betaM := range []int64{2, 10} {
+			refs := trace.Collect(trace.MustProgram(prog, 77), 60000)
+
+			// Measure the application profile with an identical cache.
+			c := cache.MustNew(cache.Config{Size: 8 << 10, LineSize: 32, Assoc: 2})
+			profile := cache.Measure(c, refs)
+
+			res, err := Run(Config{
+				Cache:   cache.Config{Size: 8 << 10, LineSize: 32, Assoc: 2},
+				Memory:  memory.Config{BetaM: betaM, BusWidth: 4},
+				Feature: FS,
+			}, refs)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			p := core.Params{
+				E:     float64(profile.E),
+				R:     float64(profile.R),
+				W:     float64(profile.W),
+				Alpha: profile.Alpha,
+				Phi:   8, // FS: L/D
+				D:     4,
+				L:     32,
+				BetaM: float64(betaM),
+			}
+			if err := p.Validate(); err != nil {
+				t.Fatalf("%s: measured profile invalid: %v", prog, err)
+			}
+			predicted := core.ExecutionTime(p) + p.Misses()
+			if got := float64(res.Cycles); got != predicted {
+				t.Fatalf("%s βm=%d: engine %.0f cycles, Eq.(2)+Λm predicts %.0f (Δ=%.0f)",
+					prog, betaM, got, predicted, got-predicted)
+			}
+		}
+	}
+}
+
+// TestEq2PredictsBufferedCycles repeats the cross-validation for the
+// ideal write-buffer variant: with a deep buffer and no exposed
+// write stalls, the engine must land on ExecutionTimeWithBuffers + Λm.
+func TestEq2PredictsBufferedCycles(t *testing.T) {
+	refs := trace.Collect(trace.ZipfReuse(trace.ZipfReuseConfig{
+		Seed: 3, Lines: 65536, Theta: 1.5, WriteFrac: 0.3,
+	}), 60000)
+	c := cache.MustNew(cache.Config{Size: 32 << 10, LineSize: 32, Assoc: 2})
+	profile := cache.Measure(c, refs)
+
+	res, err := Run(Config{
+		Cache:            cache.Config{Size: 32 << 10, LineSize: 32, Assoc: 2},
+		Memory:           memory.Config{BetaM: 2, BusWidth: 4},
+		Feature:          FS,
+		WriteBufferDepth: 64,
+	}, refs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := core.Params{
+		E: float64(profile.E), R: float64(profile.R), W: float64(profile.W),
+		Alpha: profile.Alpha, Phi: 8, D: 4, L: 32, BetaM: 2,
+	}
+	predicted := core.ExecutionTimeWithBuffers(p) + p.Misses()
+	// The ideal-buffer model hides everything; the engine may still
+	// expose residual buffer-full or conflict stalls. They must be the
+	// only difference.
+	residual := float64(res.BufferFull + res.Conflict)
+	if got := float64(res.Cycles); got != predicted+residual {
+		t.Fatalf("engine %.0f cycles, ideal-buffer Eq.(2)+Λm+residual predicts %.0f",
+			got, predicted+residual)
+	}
+	// And the residual must be small at this design point (the §4.3
+	// "appropriate memory cycle time" regime).
+	if residual > 0.05*predicted {
+		t.Fatalf("residual %.0f exceeds 5%% of predicted %.0f", residual, predicted)
+	}
+}

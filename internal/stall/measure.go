@@ -1,0 +1,54 @@
+package stall
+
+import (
+	"fmt"
+
+	"tradeoff/internal/trace"
+)
+
+// RunSource replays up to n references drawn from src. See Run.
+func RunSource(cfg Config, src trace.Source, n int) (Result, error) {
+	return Run(cfg, trace.Collect(src, n))
+}
+
+// AverageOverPrograms measures the stalling factor for each named
+// program model (refsPer references each, seeded with seed) and returns
+// the per-program results plus their unweighted average — the way the
+// paper's Figure 1 averages six SPEC92 programs.
+func AverageOverPrograms(cfg Config, names []string, refsPer int, seed uint64) (perProgram map[string]Result, avg Result, err error) {
+	if unknown := trace.ValidNames(names); len(unknown) > 0 {
+		return nil, Result{}, fmt.Errorf("stall: unknown programs %v", unknown)
+	}
+	if len(names) == 0 {
+		return nil, Result{}, fmt.Errorf("stall: no programs given")
+	}
+	perProgram = make(map[string]Result, len(names))
+	var sumPhi, sumFrac float64
+	for _, name := range names {
+		src, err := trace.NewProgram(name, seed)
+		if err != nil {
+			return nil, Result{}, err
+		}
+		res, err := RunSource(cfg, src, refsPer)
+		if err != nil {
+			return nil, Result{}, fmt.Errorf("stall: program %s: %w", name, err)
+		}
+		perProgram[name] = res
+		sumPhi += res.Phi
+		sumFrac += res.PhiFraction
+		avg.Refs += res.Refs
+		avg.Misses += res.Misses
+		avg.E += res.E
+		avg.Cycles += res.Cycles
+		avg.BaseCycles += res.BaseCycles
+		avg.FillStall += res.FillStall
+		avg.FlushStall += res.FlushStall
+		avg.WriteStall += res.WriteStall
+		avg.HiddenFlush += res.HiddenFlush
+		avg.BufferFull += res.BufferFull
+		avg.Conflict += res.Conflict
+	}
+	avg.Phi = sumPhi / float64(len(names))
+	avg.PhiFraction = sumFrac / float64(len(names))
+	return perProgram, avg, nil
+}

@@ -1,0 +1,424 @@
+// Package stall measures processor stalling factors by cycle-level
+// trace replay.
+//
+// The paper (Chen & Somani, ISCA '94, §3.2 and §4.2) distinguishes how a
+// cache stalls the processor during a line fill:
+//
+//	FS    full stalling: wait for the whole line (φ = L/D)
+//	BL    bus-locked: resume on the requested word, but any load/store
+//	      during the rest of the fill waits for fill completion
+//	BNL1  bus-not-locked: only accesses to the line being filled (or a
+//	      new miss) wait for fill completion
+//	BNL2  like BNL1, but an access to an already-arrived part of the
+//	      line proceeds; otherwise it waits for full completion
+//	BNL3  an access waits only until the word it needs arrives
+//	NB    non-blocking: the missing access itself does not stall; later
+//	      touches of the missing line wait for their word (φ ≥ 0)
+//
+// The stalling factor φ (Table 2, Eq. (8)) normalizes the measured
+// fill-induced stall per miss by the memory cycle time βm, so that the
+// execution-time model's read-miss term is (R/L)·φ·βm. A full-stalling
+// cache yields φ = L/D exactly; Figure 1 reports φ/(L/D) percentages for
+// the partially-stalling features, averaged over six SPEC92 programs.
+//
+// Per the paper's simulation assumptions (§4.2), instructions are
+// single-cycle apart from memory stalls, and the instruction cache is
+// effectively infinite.
+package stall
+
+import (
+	"errors"
+	"fmt"
+
+	"tradeoff/internal/cache"
+	"tradeoff/internal/memory"
+	"tradeoff/internal/trace"
+	"tradeoff/internal/wbuf"
+)
+
+// Feature identifies a processor stalling feature (Table 2).
+type Feature int
+
+const (
+	FS Feature = iota
+	BL
+	BNL1
+	BNL2
+	BNL3
+	NB
+)
+
+// Features lists all stalling features in Table 2 order.
+func Features() []Feature { return []Feature{FS, BL, BNL1, BNL2, BNL3, NB} }
+
+// PartialFeatures lists the partially-stalling features Figure 1 plots.
+func PartialFeatures() []Feature { return []Feature{BL, BNL1, BNL2, BNL3} }
+
+func (f Feature) String() string {
+	switch f {
+	case FS:
+		return "FS"
+	case BL:
+		return "BL"
+	case BNL1:
+		return "BNL1"
+	case BNL2:
+		return "BNL2"
+	case BNL3:
+		return "BNL3"
+	case NB:
+		return "NB"
+	default:
+		return fmt.Sprintf("Feature(%d)", int(f))
+	}
+}
+
+// Config describes one stall-measurement design point.
+type Config struct {
+	Cache   cache.Config  // cache geometry and policies
+	Memory  memory.Config // bus width D and memory cycle βm (and pipelining)
+	Feature Feature       // stalling feature under test
+
+	// WriteBufferDepth selects flush handling. 0 models no write
+	// buffers: the CPU stalls (L/D)·βm per dirty-line flush and βm per
+	// write-around store, exactly the α(R/D)βm and W·βm terms of
+	// Eq. (2). A positive depth models read-bypassing write buffers of
+	// that depth: flushes are posted after the fill and drain in bus
+	// idle time; the CPU stalls only when the buffer is full or a read
+	// miss conflicts with a buffered line.
+	WriteBufferDepth int
+
+	// MSHRs is the number of outstanding misses a non-blocking (NB)
+	// cache supports — the paper's "mechanism for supporting multiple
+	// load/store miss" (§5.3). 0 means 1. Ignored for the other
+	// features, which block on their single outstanding fill; note the
+	// non-pipelined bus still serializes overlapping fills.
+	MSHRs int
+}
+
+// Result reports the measured timing decomposition of a replay.
+type Result struct {
+	Refs   uint64 // memory references replayed
+	Misses uint64 // load/store misses that fetched a line (Λm under write-allocate)
+	E      uint64 // dynamic instruction count
+
+	Cycles     int64 // total execution cycles X
+	BaseCycles int64 // cycles with a perfect memory system (one per instruction)
+
+	FillStall   int64 // cycles stalled on line fills, incl. second-access stalls
+	FlushStall  int64 // cycles stalled on dirty-line copy-backs (exposed)
+	WriteStall  int64 // cycles stalled on write-around stores (exposed)
+	HiddenFlush int64 // flush cycles absorbed by the write buffer
+	BufferFull  int64 // cycles stalled because the write buffer was full
+	Conflict    int64 // cycles stalled on read-after-buffered-write conflicts
+
+	Phi         float64 // stalling factor: FillStall / (Misses · βm)
+	PhiFraction float64 // Phi normalized by its maximum L/D (Figure 1's y-axis)
+
+	Traffic uint64 // processor-memory bus traffic in bytes (fills, flushes, stores)
+}
+
+var errInstrOrder = errors.New("stall: trace instruction indices must be strictly increasing")
+
+// Run replays refs through the configured cache/memory system and
+// measures the stall decomposition. The cache is created fresh; use
+// RunWarm to keep a warmed cache.
+func Run(cfg Config, refs []trace.Ref) (Result, error) {
+	c, err := cache.New(cfg.Cache)
+	if err != nil {
+		return Result{}, err
+	}
+	return RunWarm(cfg, c, refs)
+}
+
+// RunWarm is Run with a caller-supplied (possibly pre-warmed) cache.
+// The cache configuration must match cfg.Cache in line size.
+func RunWarm(cfg Config, c *cache.Cache, refs []trace.Ref) (Result, error) {
+	mem, err := memory.New(cfg.Memory)
+	if err != nil {
+		return Result{}, err
+	}
+	if c.Config().LineSize != cfg.Cache.LineSize {
+		return Result{}, fmt.Errorf("stall: cache line size %d != config %d", c.Config().LineSize, cfg.Cache.LineSize)
+	}
+	e := engine{
+		cfg:   cfg,
+		cache: c,
+		mem:   mem,
+		L:     cfg.Cache.LineSize,
+		D:     cfg.Memory.BusWidth,
+	}
+	if cfg.WriteBufferDepth > 0 {
+		e.buf = wbuf.New(cfg.WriteBufferDepth)
+	}
+	if err := e.replay(refs); err != nil {
+		return Result{}, err
+	}
+	return e.result(), nil
+}
+
+// engine holds the replay state.
+type engine struct {
+	cfg   Config
+	cache *cache.Cache
+	mem   *memory.Model
+	L, D  int
+
+	cur       int64 // current cycle
+	lastInstr uint64
+	started   bool
+
+	fills []memory.Fill // outstanding fills, oldest first (len > 1 only for NB with MSHRs > 1)
+
+	busBusyUntil int64 // bus reserved by the in-flight fill (and sync flushes)
+
+	// Read-bypassing write buffer (nil when WriteBufferDepth == 0).
+	buf *wbuf.Buffer
+
+	res Result
+}
+
+// replay processes the trace.
+func (e *engine) replay(refs []trace.Ref) error {
+	for i, r := range refs {
+		if e.started && r.Instr <= e.lastInstr {
+			return fmt.Errorf("%w (ref %d: %d after %d)", errInstrOrder, i, r.Instr, e.lastInstr)
+		}
+		// Instruction progress: one cycle per instruction since the
+		// previous reference (the referencing instruction included).
+		if !e.started {
+			e.cur += int64(r.Instr) + 1
+			e.started = true
+		} else {
+			e.cur += int64(r.Instr - e.lastInstr)
+		}
+		e.lastInstr = r.Instr
+		e.retire()
+
+		out := e.cache.Access(r.Addr, r.Write)
+		switch {
+		case out.Hit:
+			e.onHit(r)
+		case out.Bypassed:
+			e.onWriteAround(r)
+		default:
+			e.onFill(r, out)
+		}
+		if out.Through {
+			e.onThrough(r)
+		}
+		e.res.Refs++
+	}
+	e.res.E = e.lastInstr + 1
+	return nil
+}
+
+// retire drops outstanding fills that have completed by the current
+// cycle, preserving age order.
+func (e *engine) retire() {
+	n := 0
+	for _, f := range e.fills {
+		if e.cur < f.Complete() {
+			e.fills[n] = f
+			n++
+		}
+	}
+	e.fills = e.fills[:n]
+}
+
+// mshrs returns the outstanding-miss capacity for the configuration.
+func (e *engine) mshrs() int {
+	if e.cfg.Feature == NB && e.cfg.MSHRs > 1 {
+		return e.cfg.MSHRs
+	}
+	return 1
+}
+
+// stallFill advances time to at (if in the future) and charges the wait
+// to fill stalls.
+func (e *engine) stallFill(at int64) {
+	if at > e.cur {
+		e.res.FillStall += at - e.cur
+		e.cur = at
+	}
+}
+
+// onHit applies the feature-specific stall rules for an access that hit
+// in the cache while a fill may be outstanding (§3.2).
+func (e *engine) onHit(r trace.Ref) {
+	if len(e.fills) == 0 {
+		return
+	}
+	if e.cfg.Feature == BL {
+		// Cache locked: every load/store waits for fill completion.
+		e.stallFill(e.fills[0].Complete())
+		e.retire()
+		return
+	}
+	// Find the (at most one) outstanding fill of this line.
+	var fill memory.Fill
+	sameLine := false
+	for _, f := range e.fills {
+		if f.Line == r.Line(e.L) {
+			fill, sameLine = f, true
+			break
+		}
+	}
+	if !sameLine {
+		return
+	}
+	switch e.cfg.Feature {
+	case FS:
+		// Unreachable: FS never leaves a fill outstanding.
+	case BNL1:
+		e.stallFill(fill.Complete())
+	case BNL2:
+		if e.cur < fill.ByteReady(int(r.Addr)%e.L, e.D) {
+			e.stallFill(fill.Complete())
+		}
+	case BNL3, NB:
+		e.stallFill(fill.ByteReady(int(r.Addr)%e.L, e.D))
+	}
+	e.retire()
+}
+
+// onWriteAround handles a write-around store, which uses the external
+// bus for one memory cycle (the W·βm term of Eq. (2)).
+func (e *engine) onWriteAround(r trace.Ref) {
+	if e.cfg.Feature == BL && len(e.fills) > 0 {
+		e.stallFill(e.fills[0].Complete())
+		e.retire()
+	}
+	betaM := e.cfg.Memory.BetaM
+	if e.cfg.WriteBufferDepth > 0 {
+		e.postWrite(r.Line(e.L), betaM)
+		return
+	}
+	// Without buffers the store costs one memory cycle (the W·βm term
+	// of Eq. (2)). The paper's model treats this as purely additive to
+	// the execution time, so it is accumulated without advancing the
+	// replay clock — advancing it would let unrelated write traffic
+	// mask the fill stalls that define φ.
+	e.res.WriteStall += betaM
+}
+
+// onThrough charges the bus cost of a write-through store: one memory
+// cycle, buffered when write buffers are configured, otherwise
+// accumulated additively like the write-around term.
+func (e *engine) onThrough(r trace.Ref) {
+	betaM := e.cfg.Memory.BetaM
+	if e.cfg.WriteBufferDepth > 0 {
+		e.postWrite(r.Line(e.L), betaM)
+		return
+	}
+	e.res.WriteStall += betaM
+}
+
+// onFill handles a miss that fetches a line.
+func (e *engine) onFill(r trace.Ref, out cache.Outcome) {
+	// A new miss while the outstanding-miss capacity is exhausted waits
+	// for the oldest line to arrive completely (all partially-stalling
+	// features; §4.2: "the new miss is stalled until the previous
+	// missed line is brought into the cache"). NB with spare MSHRs
+	// proceeds without stalling.
+	if len(e.fills) >= e.mshrs() {
+		e.stallFill(e.fills[0].Complete())
+		e.retire()
+	}
+
+	// Read-after-write conflict: the line being fetched must not be
+	// sitting in the write buffer (stale memory copy).
+	e.drainConflicts(out.FillLine)
+
+	fillStart := e.cur
+	if e.busBusyUntil > fillStart {
+		// Bus still moving earlier data (an in-progress buffered flush
+		// transfer, or — under NB with spare MSHRs — a previous fill).
+		// Blocking features park the processor on the bus wait; a
+		// non-blocking cache just schedules the fill for when the bus
+		// frees and keeps executing.
+		fillStart = e.busBusyUntil
+		if e.cfg.Feature != NB {
+			e.res.FlushStall += fillStart - e.cur
+			e.cur = fillStart
+		}
+	}
+
+	critical := (int(r.Addr) % e.L) / e.D
+	fill := e.mem.NewFill(fillStart, out.FillLine, e.L, critical)
+	e.fills = append(e.fills, fill)
+	e.busBusyUntil = fill.Complete()
+
+	// The processor waits for the requested word (FS: the whole line).
+	switch e.cfg.Feature {
+	case FS:
+		e.stallFill(fill.Complete())
+		e.fills = e.fills[:len(e.fills)-1]
+	case NB:
+		// Non-blocking: the missing access itself does not stall.
+	default:
+		e.stallFill(fill.CriticalReady())
+	}
+
+	// Dirty-victim flush, posted after the missing line is filled
+	// (§5.3). Without write buffers the CPU pays (L/D)·βm for it — the
+	// α(R/D)βm term of Eq. (2) — accumulated additively, like the
+	// write-around term above, so flush traffic does not perturb the
+	// fill-stall (φ) measurement. With buffers it drains in bus idle
+	// time and is hidden unless the buffer overruns.
+	if out.Writeback {
+		flushTime := e.mem.LineTime(e.L)
+		if e.cfg.WriteBufferDepth > 0 {
+			e.postWrite(victimToken(out.FillLine), flushTime)
+		} else {
+			e.res.FlushStall += flushTime
+		}
+	}
+}
+
+// victimToken derives a pseudo-identifier for a flushed victim line.
+// The cache does not report the victim's address, so conflicts are
+// tracked approximately; fills to the same line index as a buffered
+// entry trigger the conflict path. Using the filled line's index is a
+// conservative stand-in that preserves buffer-occupancy behaviour.
+func victimToken(fillLine uint64) uint64 { return fillLine ^ 0x8000_0000_0000_0000 }
+
+// postWrite queues a write of duration dur on the write buffer,
+// charging any full-buffer wait. Buffered cycles count as hidden
+// unless later exposed via BufferFull or Conflict stalls.
+func (e *engine) postWrite(line uint64, dur int64) {
+	stall := e.buf.Post(e.cur, e.busBusyUntil, line, dur)
+	e.res.BufferFull += stall
+	e.cur += stall
+	e.res.HiddenFlush += dur
+}
+
+// drainConflicts forces buffered entries for line to drain before a
+// fill of that line may start.
+func (e *engine) drainConflicts(line uint64) {
+	if e.buf == nil {
+		return
+	}
+	stall := e.buf.ConflictWait(e.cur, e.busBusyUntil, line)
+	e.res.Conflict += stall
+	e.cur += stall
+}
+
+// result finalizes the measurement. FlushStall and WriteStall are
+// additive charges (see onFill/onWriteAround) that never advanced the
+// replay clock, so the total cycle count adds them here.
+func (e *engine) result() Result {
+	r := e.res
+	r.Misses = e.cache.Stats().Fills
+	r.Traffic = e.cache.Stats().Traffic(e.L, e.D)
+	r.Cycles = e.cur + r.FlushStall + r.WriteStall
+	r.BaseCycles = int64(r.E)
+	betaM := e.cfg.Memory.BetaM
+	if r.Misses > 0 && betaM > 0 {
+		r.Phi = float64(r.FillStall) / (float64(r.Misses) * float64(betaM))
+	}
+	if maxPhi := float64(e.L) / float64(e.D); maxPhi > 0 {
+		r.PhiFraction = r.Phi / maxPhi
+	}
+	return r
+}

@@ -1,0 +1,64 @@
+package trace
+
+import (
+	"hash/fnv"
+	"testing"
+)
+
+// traceDigest hashes a trace so cross-version determinism can be
+// pinned: the experiment results in EXPERIMENTS.md are reproducible
+// only if the generators emit bit-identical streams for a fixed seed.
+func traceDigest(refs []Ref) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	for _, r := range refs {
+		put(r.Instr)
+		put(r.Addr)
+		v := uint64(r.Size)
+		if r.Write {
+			v |= 1 << 32
+		}
+		put(v)
+	}
+	return h.Sum64()
+}
+
+// TestGoldenDigests pins the first 20k references of every generator
+// family at seed 1994. If an intentional generator change breaks one
+// of these, re-run `go test -run TestGoldenDigests -v` and update the
+// constant — and re-generate EXPERIMENTS.md numbers, which the change
+// invalidates.
+func TestGoldenDigests(t *testing.T) {
+	const n = 20000
+	golden := map[string]uint64{
+		"nasa7":   0x2258f3bba6932f2,
+		"swm256":  0x76a03e1582319dff,
+		"wave5":   0x72559e5573d79d79,
+		"ear":     0xc99ff81e43c39690,
+		"doduc":   0x3eb8c823f16a8013,
+		"hydro2d": 0x55a99519f4db43d,
+		"zipf":    0x6d6a4277b9fc0370,
+		"ifetch":  0x40d0032dc35f11aa,
+	}
+	digest := func(name string) uint64 {
+		switch name {
+		case "zipf":
+			return traceDigest(Collect(ZipfReuse(ZipfReuseConfig{Seed: 1994, Lines: 65536, Theta: 1.5, WriteFrac: 0.3}), n))
+		case "ifetch":
+			return traceDigest(Collect(IFetch(IFetchConfig{Seed: 1994, Base: 0x8000_0000}), n))
+		default:
+			return traceDigest(Collect(MustProgram(name, 1994), n))
+		}
+	}
+	for name, want := range golden {
+		if got := digest(name); got != want {
+			t.Errorf("%s: digest %#x, golden %#x — generator output changed; update the golden and re-generate EXPERIMENTS.md", name, got, want)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package trace
+
+// IFetchConfig configures an instruction-fetch stream generator.
+type IFetchConfig struct {
+	Seed      uint64
+	Base      uint64  // starting byte address of the code region
+	CodeBytes uint64  // size of the code region (default 256 KiB)
+	AvgBlock  float64 // mean basic-block length in instructions (default 6)
+	LoopFrac  float64 // fraction of taken branches that return to a recent block (default 0.85)
+	InstrSize uint8   // bytes per instruction (default 4, the RISC model)
+}
+
+// IFetch returns the instruction-fetch reference stream of a RISC
+// processor (§3.4 of the paper): one fetch per instruction, sequential
+// within basic blocks, with branches that mostly loop back to recently
+// executed blocks — which is why instruction-cache hit ratios are
+// "usually very high" (§3.4) and the paper can fold instruction fetch
+// out of Eq. (2) for single-tasking runs.
+//
+// The Instr index increments by exactly one per reference, so an
+// IFetch stream can be interleaved with a data stream whose Instr
+// indices were produced for the same nominal program.
+func IFetch(cfg IFetchConfig) Source {
+	if cfg.CodeBytes == 0 {
+		cfg.CodeBytes = 256 << 10
+	}
+	if cfg.AvgBlock < 1 {
+		cfg.AvgBlock = 6
+	}
+	if cfg.LoopFrac <= 0 || cfg.LoopFrac > 1 {
+		cfg.LoopFrac = 0.85
+	}
+	if cfg.InstrSize == 0 {
+		cfg.InstrSize = 4
+	}
+	return &ifetch{
+		cfg: cfg,
+		rng: NewRNG(cfg.Seed),
+		pc:  cfg.Base,
+	}
+}
+
+type ifetch struct {
+	cfg    IFetchConfig
+	rng    *RNG
+	pc     uint64
+	instr  uint64
+	left   uint64     // instructions remaining in the current block
+	recent [32]uint64 // ring of recent block start addresses (loop targets)
+	nRec   int
+
+	loopTarget uint64 // back-edge target of the loop being iterated
+	loopIter   uint64 // remaining iterations of that loop
+}
+
+func (f *ifetch) Next() (Ref, bool) {
+	if f.left == 0 {
+		f.newBlock()
+	}
+	r := Ref{Instr: f.instr, Addr: f.pc, Size: f.cfg.InstrSize}
+	f.instr++
+	f.pc += uint64(f.cfg.InstrSize)
+	if f.pc >= f.cfg.Base+f.cfg.CodeBytes {
+		f.pc = f.cfg.Base
+	}
+	f.left--
+	return r, true
+}
+
+// newBlock takes a branch: usually back to a recent block (a loop,
+// biased toward the innermost), sometimes a short forward branch,
+// rarely a far call — the mix that gives real instruction streams
+// their very high cache hit ratios.
+func (f *ifetch) newBlock() {
+	f.left = f.rng.Geometric(f.cfg.AvgBlock)
+	// Remember where this block starts before branching away from it.
+	f.recent[f.nRec%len(f.recent)] = f.pc
+	f.nRec++
+	if f.loopIter > 0 {
+		// Keep iterating the current loop: take its back edge again.
+		f.loopIter--
+		f.pc = f.loopTarget
+		return
+	}
+	if f.rng.Bool(f.cfg.LoopFrac) {
+		// Enter (or re-enter) a loop: pick a recent block as the back-
+		// edge target, geometrically biased to the most recent (inner
+		// loops iterate most), and stay with it for several iterations.
+		depth := int(f.rng.Geometric(3)) - 1
+		limit := min(f.nRec, len(f.recent))
+		if depth >= limit {
+			depth = limit - 1
+		}
+		idx := (f.nRec - 1 - depth) % len(f.recent)
+		f.loopTarget = f.recent[idx]
+		f.loopIter = f.rng.Geometric(12)
+		f.pc = f.loopTarget
+		return
+	}
+	isize := uint64(f.cfg.InstrSize)
+	if f.rng.Bool(0.8) {
+		// Short forward branch: skip a few blocks ahead.
+		f.pc += (1 + f.rng.Uint64()%64) * isize
+		if f.pc >= f.cfg.Base+f.cfg.CodeBytes {
+			f.pc = f.cfg.Base
+		}
+		return
+	}
+	// Far call/branch to a random instruction-aligned target.
+	span := f.cfg.CodeBytes / isize
+	f.pc = f.cfg.Base + (f.rng.Uint64()%span)*isize
+}
+
+// Interleave merges a data-reference stream with an instruction-fetch
+// stream into the access order a unified cache sees: for each
+// instruction, the fetch first, then any data reference the
+// instruction issues. The data stream's Instr indices drive the pace;
+// fetch addresses are consumed one per instruction.
+func Interleave(data, fetch Source) Source {
+	return &interleave{data: data, fetch: fetch}
+}
+
+type interleave struct {
+	data      Source
+	fetch     Source
+	pending   Ref // next data ref waiting for its instruction's fetch
+	havePend  bool
+	nextInstr uint64 // next instruction index to emit a fetch for
+	done      bool
+}
+
+func (iv *interleave) Next() (Ref, bool) {
+	for {
+		if iv.done {
+			return Ref{}, false
+		}
+		if !iv.havePend {
+			r, ok := iv.data.Next()
+			if !ok {
+				iv.done = true
+				return Ref{}, false
+			}
+			iv.pending, iv.havePend = r, true
+		}
+		if iv.nextInstr <= iv.pending.Instr {
+			// Emit the fetch for instruction nextInstr.
+			fr, ok := iv.fetch.Next()
+			if !ok {
+				iv.done = true
+				return Ref{}, false
+			}
+			fr.Instr = iv.nextInstr
+			iv.nextInstr++
+			return fr, true
+		}
+		// All fetches up to the pending data ref are out; emit it.
+		r := iv.pending
+		iv.havePend = false
+		return r, true
+	}
+}

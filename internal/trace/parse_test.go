@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestParseNativeFormat(t *testing.T) {
+	in := `# comment
+0 0x1000 4 R
+3 0x1004 4 W
+
+7 2048 8 r
+`
+	refs, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != 3 {
+		t.Fatalf("parsed %d refs, want 3", len(refs))
+	}
+	if refs[0] != (Ref{Instr: 0, Addr: 0x1000, Size: 4}) {
+		t.Fatalf("ref 0 = %+v", refs[0])
+	}
+	if !refs[1].Write || refs[1].Instr != 3 {
+		t.Fatalf("ref 1 = %+v", refs[1])
+	}
+	if refs[2].Addr != 2048 || refs[2].Size != 8 || refs[2].Write {
+		t.Fatalf("ref 2 = %+v", refs[2])
+	}
+}
+
+func TestParseRoundTripsTracegenOutput(t *testing.T) {
+	// A generated trace serialized in tracegen's format must parse back
+	// identically.
+	orig := Collect(MustProgram(Ear, 3), 2000)
+	var b strings.Builder
+	for _, r := range orig {
+		rw := "R"
+		if r.Write {
+			rw = "W"
+		}
+		// identical to cmd/tracegen's formatting
+		fmt.Fprintf(&b, "%d %#x %d %s\n", r.Instr, r.Addr, r.Size, rw)
+	}
+	parsed, err := Parse(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != len(orig) {
+		t.Fatalf("parsed %d, want %d", len(parsed), len(orig))
+	}
+	for i := range orig {
+		if parsed[i] != orig[i] {
+			t.Fatalf("ref %d: %+v != %+v", i, parsed[i], orig[i])
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"0 0x10 4",               // missing field
+		"x 0x10 4 R",             // bad instr
+		"0 zz 4 R",               // bad addr (not hex or dec)
+		"0 0x10 0 R",             // zero size
+		"0 0x10 4 Q",             // bad kind
+		"5 0x10 4 R\n5 0x14 4 R", // non-increasing instr
+	}
+	for i, in := range cases {
+		if _, err := Parse(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d accepted: %q", i, in)
+		}
+	}
+}
+
+func TestParseDinero(t *testing.T) {
+	in := `0 1000
+1 1004
+2 400
+0 2000
+`
+	refs, err := ParseDinero(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != 3 {
+		t.Fatalf("parsed %d data refs, want 3 (ifetch dropped)", len(refs))
+	}
+	if refs[0].Addr != 0x1000 {
+		t.Fatalf("dinero addresses are hex: got %#x", refs[0].Addr)
+	}
+	if !refs[1].Write {
+		t.Fatal("label 1 not a write")
+	}
+	// The ifetch advanced the instruction counter between refs 1 and 2.
+	if refs[2].Instr != refs[1].Instr+2 {
+		t.Fatalf("ifetch did not advance instr: %d after %d", refs[2].Instr, refs[1].Instr)
+	}
+}
+
+func TestParseDineroErrors(t *testing.T) {
+	if _, err := ParseDinero(strings.NewReader("3 1000")); err == nil {
+		t.Fatal("bad label accepted")
+	}
+	if _, err := ParseDinero(strings.NewReader("0")); err == nil {
+		t.Fatal("missing address accepted")
+	}
+	if _, err := ParseDinero(strings.NewReader("0 zz+")); err == nil {
+		t.Fatal("bad address accepted")
+	}
+}

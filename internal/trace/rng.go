@@ -1,0 +1,63 @@
+package trace
+
+// RNG is a small deterministic pseudo-random number generator
+// (xorshift64* by Vigna). It exists so that traces are reproducible
+// across runs and platforms without importing math/rand, whose global
+// state and version-dependent algorithms would make goldens brittle.
+//
+// The zero value is not usable; construct with NewRNG.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed. A zero seed is remapped
+// to a fixed non-zero constant because xorshift requires non-zero state.
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Intn returns a pseudo-random int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("trace: Intn called with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a pseudo-random float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool { return r.Float64() < p }
+
+// Geometric returns a sample from a geometric distribution with mean
+// approximately mean (minimum 1). It is used for inter-reference
+// instruction gaps.
+func (r *RNG) Geometric(mean float64) uint64 {
+	if mean <= 1 {
+		return 1
+	}
+	// Inverse-transform sampling would need math.Log; keep stdlib-light
+	// and branch-simple with a Bernoulli loop capped for safety.
+	p := 1 / mean
+	n := uint64(1)
+	for !r.Bool(p) && n < uint64(mean*20) {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,152 @@
+package wbuf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewClampsDepth(t *testing.T) {
+	if New(0).Depth() != 1 || New(-5).Depth() != 1 {
+		t.Fatal("non-positive depth not clamped to 1")
+	}
+	if New(8).Depth() != 8 {
+		t.Fatal("depth not preserved")
+	}
+}
+
+func TestPostNoStallWhenEmpty(t *testing.T) {
+	b := New(2)
+	if stall := b.Post(100, 0, 7, 40); stall != 0 {
+		t.Fatalf("empty buffer post stalled %d", stall)
+	}
+	if got := b.Len(100, 0); got != 1 {
+		t.Fatalf("Len = %d, want 1", got)
+	}
+}
+
+func TestEntriesDrainOverTime(t *testing.T) {
+	b := New(2)
+	b.Post(0, 0, 1, 10) // drains at 10 on an idle bus
+	if got := b.Len(5, 0); got != 1 {
+		t.Fatalf("Len mid-drain = %d, want 1", got)
+	}
+	if got := b.Len(10, 0); got != 0 {
+		t.Fatalf("Len after drain = %d, want 0", got)
+	}
+}
+
+func TestBusReservationDelaysDrain(t *testing.T) {
+	b := New(2)
+	b.Post(0, 50, 1, 10) // bus busy with a fill until 50
+	if got := b.Len(49, 50); got != 1 {
+		t.Fatalf("entry drained during fill: Len = %d", got)
+	}
+	if got := b.Len(60, 50); got != 0 {
+		t.Fatalf("entry not drained after fill: Len = %d", got)
+	}
+}
+
+func TestFullBufferStalls(t *testing.T) {
+	b := New(1)
+	b.Post(0, 0, 1, 10)
+	stall := b.Post(2, 0, 2, 10) // head drains at 10: wait 8
+	if stall != 8 {
+		t.Fatalf("full stall = %d, want 8", stall)
+	}
+	if got := b.Stats().FullStalls; got != 8 {
+		t.Fatalf("FullStalls = %d, want 8", got)
+	}
+}
+
+func TestConflictWait(t *testing.T) {
+	b := New(4)
+	b.Post(0, 0, 42, 10)
+	if stall := b.ConflictWait(3, 0, 42); stall != 7 {
+		t.Fatalf("conflict stall = %d, want 7", stall)
+	}
+	if got := b.Stats().Conflicts; got != 1 {
+		t.Fatalf("Conflicts = %d, want 1", got)
+	}
+	// No conflict for another line.
+	b.Post(20, 0, 9, 10)
+	if stall := b.ConflictWait(21, 0, 8); stall != 0 {
+		t.Fatalf("non-conflicting wait = %d, want 0", stall)
+	}
+}
+
+func TestConflictWaitEmptyBuffer(t *testing.T) {
+	b := New(4)
+	if stall := b.ConflictWait(5, 0, 1); stall != 0 {
+		t.Fatalf("empty conflict wait = %d", stall)
+	}
+}
+
+func TestHiddenFractionIdealWhenUnused(t *testing.T) {
+	if got := New(4).HiddenFraction(); got != 1 {
+		t.Fatalf("unused HiddenFraction = %v, want 1", got)
+	}
+}
+
+func TestHiddenFractionDegradesWhenOverrun(t *testing.T) {
+	deep := New(16)
+	shallow := New(1)
+	// Post a burst of back-to-back flushes.
+	for i := int64(0); i < 8; i++ {
+		deep.Post(i, 0, uint64(i), 20)
+		shallow.Post(i, 0, uint64(i), 20)
+	}
+	if d, s := deep.HiddenFraction(), shallow.HiddenFraction(); d <= s {
+		t.Fatalf("deep buffer hides %.2f, shallow %.2f; want deep > shallow", d, s)
+	}
+	if shallow.HiddenFraction() >= 1 {
+		t.Fatal("overrun shallow buffer reported fully hidden")
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	b := New(2)
+	b.Post(0, 0, 1, 5)
+	b.Post(0, 0, 2, 5)
+	s := b.Stats()
+	if s.Posted != 2 || s.PostedTime != 10 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestFIFOOrderProperty(t *testing.T) {
+	// Property: posts never return negative stalls, and Len never
+	// exceeds depth.
+	f := func(durs []uint8, depth uint8) bool {
+		d := int(depth%6) + 1
+		b := New(d)
+		now := int64(0)
+		for i, u := range durs {
+			stall := b.Post(now, 0, uint64(i), int64(u%30)+1)
+			if stall < 0 {
+				return false
+			}
+			now += stall + 1
+			if b.Len(now, 0) > d {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHiddenFractionNeverNegative(t *testing.T) {
+	f := func(durs []uint8) bool {
+		b := New(1)
+		for i, u := range durs {
+			b.Post(int64(i), 0, uint64(i), int64(u)+1)
+		}
+		h := b.HiddenFraction()
+		return h >= 0 && h <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
