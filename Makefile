@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench figures figures-fast report examples clean
+.PHONY: all build vet test test-short race bench figures figures-fast report examples serve clean
 
-all: build vet test
+all: build vet test race
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,14 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+# Race-detector pass over the concurrent subsystems (sweep pool + service).
+race:
+	$(GO) test -race ./internal/sweep ./internal/service
+
+# Run the HTTP evaluation service on :8080.
+serve:
+	$(GO) run ./cmd/tradeoffd
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -7,6 +7,10 @@
 package tradeoff_test
 
 import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 
 	"tradeoff/internal/cache"
@@ -15,7 +19,9 @@ import (
 	"tradeoff/internal/linesize"
 	"tradeoff/internal/memory"
 	"tradeoff/internal/missratio"
+	"tradeoff/internal/service"
 	"tradeoff/internal/stall"
+	"tradeoff/internal/sweep"
 	"tradeoff/internal/trace"
 )
 
@@ -182,3 +188,49 @@ func BenchmarkEndToEnd(b *testing.B) { benchExperiment(b, "endtoend") }
 func BenchmarkSeeds(b *testing.B) { benchExperiment(b, "seeds") }
 
 func BenchmarkTable1Parameters(b *testing.B) { benchExperiment(b, "table1") }
+
+// Sweep-engine and service benchmarks: the serial-vs-parallel pair
+// measures the worker pool's speedup on a simulation-backed space
+// (8 points × 20k simulated references each), and the handler bench
+// measures a memoized /v1/tradeoff round trip.
+
+func benchSweepEngine(b *testing.B, workers int) {
+	cfg := sweep.Config{
+		CacheKB: []int{4, 8, 16, 32}, LineBytes: []int{16, 32}, BusBits: []int{32},
+		LatencyNS: 360, TransferNS: 60, CPUNS: 30,
+		HitSource: "sim:zipf", SimRefs: 20_000,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ds, err := sweep.Run(context.Background(), cfg, workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(ds) != 8 {
+			b.Fatalf("designs = %d, want 8", len(ds))
+		}
+	}
+}
+
+func BenchmarkSweepSerial(b *testing.B)   { benchSweepEngine(b, 1) }
+func BenchmarkSweepParallel(b *testing.B) { benchSweepEngine(b, 0) }
+
+func BenchmarkTradeoffHandlerCached(b *testing.B) {
+	s := service.New(service.Options{})
+	h := s.Handler()
+	body := []byte(`{"feature":"bus","hit_ratio":0.95,"l":32,"d":4,"beta_m":10}`)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/v1/tradeoff", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", rec.Code, rec.Body)
+		}
+	}
+	b.StopTimer()
+	if b.N > 1 && s.CacheHits() == 0 {
+		b.Fatal("repeated identical requests never hit the LRU")
+	}
+}

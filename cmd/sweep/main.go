@@ -5,140 +5,68 @@
 //
 // Usage:
 //
-//	sweep -config space.json [-o designs.csv]
+//	sweep -config space.json [-o designs.csv] [-workers N]
 //	sweep -example          # print a commented example configuration
 //
 // Hit ratios come either from the calibrated design-target surface
 // ("model") or from cache simulation of a named workload ("sim:<name>",
 // e.g. "sim:zipf" or "sim:nasa7").
+//
+// The sweep itself lives in internal/sweep and runs on a worker pool
+// (default runtime.NumCPU(); -workers 1 forces a serial sweep). Output
+// ordering is deterministic regardless of parallelism. The same engine
+// backs the tradeoffd HTTP service.
 package main
 
 import (
-	"encoding/csv"
-	"encoding/json"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"strconv"
-	"strings"
+	"os/signal"
 
-	"tradeoff/internal/area"
-	"tradeoff/internal/cache"
-	"tradeoff/internal/core"
-	"tradeoff/internal/missratio"
-	"tradeoff/internal/trace"
+	"tradeoff/internal/sweep"
 )
-
-// SpaceConfig is the JSON schema of a design-space sweep.
-type SpaceConfig struct {
-	CacheKB    []int   `json:"cache_kb"`     // cache sizes in KiB
-	LineBytes  []int   `json:"line_bytes"`   // line sizes
-	BusBits    []int   `json:"bus_bits"`     // external data bus widths in bits
-	Assoc      int     `json:"assoc"`        // associativity (default 2)
-	LatencyNS  float64 `json:"latency_ns"`   // memory access latency
-	TransferNS float64 `json:"transfer_ns"`  // one bus transfer, any width
-	CPUNS      float64 `json:"cpu_ns"`       // processor cycle time
-	AddrBits   int     `json:"addr_bits"`    // address bus width (default 32)
-	CtrlPins   int     `json:"control_pins"` // control pin allowance (default 40)
-	HitSource  string  `json:"hit_source"`   // "model" or "sim:<workload>"
-	SimRefs    int     `json:"sim_refs"`     // references per simulated point (default 200000)
-	Seed       uint64  `json:"seed"`
-}
-
-func (c *SpaceConfig) setDefaults() {
-	if c.Assoc == 0 {
-		c.Assoc = 2
-	}
-	if c.AddrBits == 0 {
-		c.AddrBits = 32
-	}
-	if c.CtrlPins == 0 {
-		c.CtrlPins = 40
-	}
-	if c.HitSource == "" {
-		c.HitSource = "model"
-	}
-	if c.SimRefs == 0 {
-		c.SimRefs = 200_000
-	}
-	if c.Seed == 0 {
-		c.Seed = 1994
-	}
-}
-
-func (c *SpaceConfig) validate() error {
-	switch {
-	case len(c.CacheKB) == 0 || len(c.LineBytes) == 0 || len(c.BusBits) == 0:
-		return fmt.Errorf("sweep: cache_kb, line_bytes and bus_bits must be non-empty")
-	case c.LatencyNS <= 0 || c.TransferNS <= 0 || c.CPUNS <= 0:
-		return fmt.Errorf("sweep: latency_ns, transfer_ns and cpu_ns must be positive")
-	}
-	if c.HitSource != "model" && !strings.HasPrefix(c.HitSource, "sim:") {
-		return fmt.Errorf("sweep: hit_source %q, want \"model\" or \"sim:<workload>\"", c.HitSource)
-	}
-	return nil
-}
-
-const exampleConfig = `{
-  "cache_kb":    [4, 8, 16, 32, 64],
-  "line_bytes":  [16, 32, 64],
-  "bus_bits":    [32, 64],
-  "assoc":       2,
-  "latency_ns":  360,
-  "transfer_ns": 60,
-  "cpu_ns":      30,
-  "hit_source":  "model"
-}`
 
 func main() {
 	var (
 		configPath = flag.String("config", "", "JSON design-space configuration")
 		out        = flag.String("o", "-", "output CSV ('-' = stdout)")
+		workers    = flag.Int("workers", 0, "worker pool size (0 = all CPUs, 1 = serial)")
 		example    = flag.Bool("example", false, "print an example configuration and exit")
 	)
 	flag.Parse()
 	if *example {
-		fmt.Println(exampleConfig)
+		fmt.Println(sweep.ExampleConfig)
 		return
 	}
 	if *configPath == "" {
 		fmt.Fprintln(os.Stderr, "sweep: -config is required (see -example)")
 		os.Exit(2)
 	}
-	if err := run(*configPath, *out); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, *configPath, *out, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
 	}
 }
 
-type design struct {
-	cacheKB, line, busBits int
-	hitRatio, delay        float64
-	areaRBE                float64
-	pins                   int
-	pareto                 bool
-}
-
-func run(configPath, outPath string) error {
+func run(ctx context.Context, configPath, outPath string, workers int) error {
 	data, err := os.ReadFile(configPath)
 	if err != nil {
 		return err
 	}
-	var cfg SpaceConfig
-	if err := json.Unmarshal(data, &cfg); err != nil {
-		return fmt.Errorf("parsing %s: %w", configPath, err)
-	}
-	cfg.setDefaults()
-	if err := cfg.validate(); err != nil {
-		return err
+	cfg, err := sweep.ParseConfig(data)
+	if err != nil {
+		return fmt.Errorf("%s: %w", configPath, err)
 	}
 
-	designs, err := sweep(cfg)
+	designs, err := sweep.Run(ctx, cfg, workers)
 	if err != nil {
 		return err
 	}
-	markPareto(designs)
 
 	var w io.Writer = os.Stdout
 	if outPath != "-" {
@@ -149,112 +77,5 @@ func run(configPath, outPath string) error {
 		defer f.Close()
 		w = f
 	}
-	return writeCSV(w, designs)
-}
-
-// hitFunc returns the hit-ratio source selected by the config.
-func hitFunc(cfg SpaceConfig) (func(sizeBytes, line int) (float64, error), error) {
-	if cfg.HitSource == "model" {
-		m := missratio.DefaultModel()
-		return func(size, line int) (float64, error) {
-			return 1 - m.MissRatio(size, line), nil
-		}, nil
-	}
-	name := strings.TrimPrefix(cfg.HitSource, "sim:")
-	return func(size, line int) (float64, error) {
-		var src trace.Source
-		if name == "zipf" {
-			src = trace.ZipfReuse(trace.ZipfReuseConfig{
-				Seed: cfg.Seed, Base: 0x1000_0000, Lines: 65536, Theta: 1.5, WriteFrac: 0.3})
-		} else {
-			var err error
-			src, err = trace.NewProgram(name, cfg.Seed)
-			if err != nil {
-				return 0, err
-			}
-		}
-		c, err := cache.New(cache.Config{Size: size, LineSize: line, Assoc: cfg.Assoc})
-		if err != nil {
-			return 0, err
-		}
-		return cache.MeasureSource(c, src, cfg.SimRefs).HitRatio, nil
-	}, nil
-}
-
-func sweep(cfg SpaceConfig) ([]*design, error) {
-	hit, err := hitFunc(cfg)
-	if err != nil {
-		return nil, err
-	}
-	var out []*design
-	for _, kb := range cfg.CacheKB {
-		for _, line := range cfg.LineBytes {
-			for _, busBits := range cfg.BusBits {
-				d := busBits / 8
-				if line < 2*d {
-					continue
-				}
-				hr, err := hit(kb<<10, line)
-				if err != nil {
-					return nil, err
-				}
-				c := 1 + cfg.LatencyNS/cfg.CPUNS
-				beta := cfg.TransferNS / cfg.CPUNS
-				delay := core.MeanDelayPerRef(hr, c, beta, float64(line), float64(d))
-				rbe, err := area.RBE(area.CacheGeometry{
-					Size: kb << 10, LineSize: line, Assoc: cfg.Assoc, AddrBits: cfg.AddrBits})
-				if err != nil {
-					return nil, err
-				}
-				pins := area.Pins{DataBits: busBits, AddrBits: cfg.AddrBits, Control: cfg.CtrlPins}
-				out = append(out, &design{
-					cacheKB: kb, line: line, busBits: busBits,
-					hitRatio: hr, delay: delay, areaRBE: rbe, pins: pins.Total(),
-				})
-			}
-		}
-	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("sweep: empty design space (every line < 2D?)")
-	}
-	return out, nil
-}
-
-// markPareto flags designs not dominated in (delay, area, pins).
-func markPareto(ds []*design) {
-	for _, a := range ds {
-		a.pareto = true
-		for _, b := range ds {
-			if b == a {
-				continue
-			}
-			if b.delay <= a.delay && b.areaRBE <= a.areaRBE && b.pins <= a.pins &&
-				(b.delay < a.delay || b.areaRBE < a.areaRBE || b.pins < a.pins) {
-				a.pareto = false
-				break
-			}
-		}
-	}
-}
-
-func writeCSV(w io.Writer, ds []*design) error {
-	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"cache_kb", "line_bytes", "bus_bits", "hit_ratio", "delay_per_ref", "area_rbe", "pins", "pareto"}); err != nil {
-		return err
-	}
-	for _, d := range ds {
-		rec := []string{
-			strconv.Itoa(d.cacheKB), strconv.Itoa(d.line), strconv.Itoa(d.busBits),
-			strconv.FormatFloat(d.hitRatio, 'f', 5, 64),
-			strconv.FormatFloat(d.delay, 'f', 4, 64),
-			strconv.FormatFloat(d.areaRBE, 'f', 0, 64),
-			strconv.Itoa(d.pins),
-			strconv.FormatBool(d.pareto),
-		}
-		if err := cw.Write(rec); err != nil {
-			return err
-		}
-	}
-	cw.Flush()
-	return cw.Error()
+	return sweep.WriteCSV(w, designs)
 }

@@ -1,10 +1,13 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"tradeoff/internal/sweep"
 )
 
 func writeConfig(t *testing.T, body string) string {
@@ -17,9 +20,9 @@ func writeConfig(t *testing.T, body string) string {
 }
 
 func TestRunModelSweep(t *testing.T) {
-	cfg := writeConfig(t, exampleConfig)
+	cfg := writeConfig(t, sweep.ExampleConfig)
 	out := filepath.Join(t.TempDir(), "designs.csv")
-	if err := run(cfg, out); err != nil {
+	if err := run(context.Background(), cfg, out, 0); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -53,7 +56,7 @@ func TestRunSimSweep(t *testing.T) {
 		"hit_source": "sim:zipf", "sim_refs": 30000
 	}`)
 	out := filepath.Join(t.TempDir(), "d.csv")
-	if err := run(cfg, out); err != nil {
+	if err := run(context.Background(), cfg, out, 0); err != nil {
 		t.Fatal(err)
 	}
 	data, _ := os.ReadFile(out)
@@ -78,11 +81,11 @@ func TestRunRejectsBadConfigs(t *testing.T) {
 	}
 	for i, body := range cases {
 		cfg := writeConfig(t, body)
-		if err := run(cfg, filepath.Join(t.TempDir(), "x.csv")); err == nil {
+		if err := run(context.Background(), cfg, filepath.Join(t.TempDir(), "x.csv"), 0); err == nil {
 			t.Errorf("bad config %d accepted", i)
 		}
 	}
-	if err := run(filepath.Join(t.TempDir(), "missing.json"), "-"); err == nil {
+	if err := run(context.Background(), filepath.Join(t.TempDir(), "missing.json"), "-", 0); err == nil {
 		t.Error("missing config accepted")
 	}
 }
@@ -93,7 +96,7 @@ func TestRunSimUnknownWorkload(t *testing.T) {
 		"latency_ns": 1, "transfer_ns": 1, "cpu_ns": 1,
 		"hit_source": "sim:gcc"
 	}`)
-	if err := run(cfg, filepath.Join(t.TempDir(), "x.csv")); err == nil {
+	if err := run(context.Background(), cfg, filepath.Join(t.TempDir(), "x.csv"), 0); err == nil {
 		t.Fatal("unknown simulated workload accepted")
 	}
 }

@@ -1,0 +1,86 @@
+// Command tradeoffd serves the unified tradeoff methodology over
+// HTTP: single-point feature pricing (POST /v1/tradeoff), full
+// design-space sweeps (POST /v1/sweep, JSON or CSV), a liveness probe
+// (GET /healthz) and expvar counters (GET /metrics).
+//
+// Usage:
+//
+//	tradeoffd [-addr :8080] [-workers 0] [-cache 256] [-drain 10s]
+//
+// Sweeps run on the shared internal/sweep worker pool; identical
+// requests are answered from a size-bounded LRU. SIGINT/SIGTERM
+// triggers a graceful shutdown: the listener closes immediately,
+// in-flight requests get the drain timeout to finish, and a client
+// that disconnects mid-sweep cancels its sweep workers via the
+// request context.
+//
+// Examples:
+//
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/v1/tradeoff -d '{"feature":"bus","hit_ratio":0.95}'
+//	go run ./cmd/sweep -example | curl -s -X POST localhost:8080/v1/sweep?format=csv -d @-
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tradeoff/internal/service"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "sweep worker pool size (0 = all CPUs)")
+		entries = flag.Int("cache", 256, "response LRU capacity (entries)")
+		drain   = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+	)
+	flag.Parse()
+	if err := run(*addr, *workers, *entries, *drain); err != nil {
+		fmt.Fprintln(os.Stderr, "tradeoffd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, workers, entries int, drain time.Duration) error {
+	svc := service.New(service.Options{Workers: workers, CacheEntries: entries})
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("tradeoffd: listening on %s", addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err // ListenAndServe failed before any signal
+	case <-ctx.Done():
+	}
+
+	log.Printf("tradeoffd: shutting down (drain %s)", drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("drain timeout exceeded: %w", err)
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

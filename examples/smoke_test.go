@@ -1,0 +1,75 @@
+// Package examples_test smoke-tests the runnable examples: each one
+// must build and exit 0. The examples print to stdout only, so this is
+// a build-and-run check, not an output check; it keeps `go test
+// -short ./...` honest about the directories that used to report
+// "[no test files]".
+package examples_test
+
+import (
+	"os"
+	"os/exec"
+	"testing"
+	"time"
+)
+
+// exampleDirs lists every example, mirroring the Makefile's
+// `examples` target.
+var exampleDirs = []string{
+	"quickstart",
+	"buswidth",
+	"pipelined",
+	"linesize",
+	"stallfeatures",
+	"designspace",
+}
+
+func TestExamplesRun(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not in PATH")
+	}
+	for _, dir := range exampleDirs {
+		dir := dir
+		t.Run(dir, func(t *testing.T) {
+			t.Parallel()
+			if _, err := os.Stat(dir); err != nil {
+				t.Fatalf("example directory missing: %v", err)
+			}
+			cmd := exec.Command("go", "run", "./examples/"+dir)
+			cmd.Dir = ".." // module root
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run ./examples/%s: %v\n%s", dir, err, out)
+			}
+			if len(out) == 0 {
+				t.Fatalf("example %s printed nothing", dir)
+			}
+		})
+	}
+}
+
+// TestExamplesListedInMakefile fails when a new example directory is
+// added without wiring it into this smoke test.
+func TestExamplesListedInMakefile(t *testing.T) {
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	known := make(map[string]bool, len(exampleDirs))
+	for _, d := range exampleDirs {
+		known[d] = true
+	}
+	for _, e := range entries {
+		if e.IsDir() && !known[e.Name()] {
+			t.Errorf("example %s not covered by the smoke test", e.Name())
+		}
+	}
+}
+
+// TestMain keeps a sane upper bound on a wedged example.
+func TestMain(m *testing.M) {
+	timer := time.AfterFunc(5*time.Minute, func() {
+		panic("examples smoke test wedged")
+	})
+	defer timer.Stop()
+	os.Exit(m.Run())
+}

@@ -1,0 +1,72 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// cachedResponse is one memoized endpoint response: the exact bytes
+// and content type to replay on a key match.
+type cachedResponse struct {
+	contentType string
+	body        []byte
+}
+
+// lruCache is a size-bounded LRU of canonicalized request → response.
+// Endpoint evaluations are pure functions of their inputs, so entries
+// never expire — they are only evicted by capacity.
+type lruCache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recently used
+	entries map[string]*list.Element
+}
+
+type lruEntry struct {
+	key  string
+	resp cachedResponse
+}
+
+func newLRUCache(capacity int) *lruCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &lruCache{cap: capacity, order: list.New(), entries: make(map[string]*list.Element, capacity)}
+}
+
+// get returns the cached response for key, refreshing its recency.
+func (c *lruCache) get(key string) (cachedResponse, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return cachedResponse{}, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).resp, true
+}
+
+// put stores a response, evicting the least recently used entry when
+// over capacity.
+func (c *lruCache) put(key string, resp cachedResponse) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*lruEntry).resp = resp
+		return
+	}
+	c.entries[key] = c.order.PushFront(&lruEntry{key: key, resp: resp})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*lruEntry).key)
+	}
+}
+
+// len returns the current entry count.
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

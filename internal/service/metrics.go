@@ -1,0 +1,105 @@
+package service
+
+import (
+	"expvar"
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+)
+
+// metrics holds the server's expvar counters. The vars are per-Server
+// (not published to the global expvar registry) so tests and embedders
+// can run several servers without name collisions; GET /metrics
+// renders them in expvar's JSON format.
+type metrics struct {
+	requests    expvar.Int // requests accepted, all endpoints
+	errors      expvar.Int // responses with status >= 400
+	cacheHits   expvar.Int // LRU memoization hits
+	cacheMisses expvar.Int // LRU memoization misses
+	inFlight    expvar.Int // requests currently being served
+	endpoints   expvar.Map // per-endpoint requests/errors/latency
+}
+
+func newMetrics() *metrics {
+	m := &metrics{}
+	m.endpoints.Init()
+	return m
+}
+
+// endpointVars returns (creating on first use) the per-endpoint
+// counter map: requests, errors, latency_us_total.
+func (m *metrics) endpointVars(name string) *expvar.Map {
+	if v := m.endpoints.Get(name); v != nil {
+		return v.(*expvar.Map)
+	}
+	em := new(expvar.Map).Init()
+	em.Set("requests", new(expvar.Int))
+	em.Set("errors", new(expvar.Int))
+	em.Set("latency_us_total", new(expvar.Int))
+	m.endpoints.Set(name, em)
+	return m.endpoints.Get(name).(*expvar.Map)
+}
+
+// statusWriter captures the response status for error accounting.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps an endpoint handler with request, error, in-flight
+// and latency accounting under the given endpoint name.
+func (m *metrics) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	ep := m.endpointVars(name)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		m.requests.Add(1)
+		m.inFlight.Add(1)
+		defer m.inFlight.Add(-1)
+		ep.Get("requests").(*expvar.Int).Add(1)
+
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+
+		if sw.status >= 400 {
+			m.errors.Add(1)
+			ep.Get("errors").(*expvar.Int).Add(1)
+		}
+		ep.Get("latency_us_total").(*expvar.Int).Add(time.Since(start).Microseconds())
+	}
+}
+
+// serveHTTP renders every counter as one JSON document, mirroring
+// expvar.Handler()'s output format but scoped to this server.
+func (m *metrics) serveHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	vars := []struct {
+		name string
+		v    expvar.Var
+	}{
+		{"requests_total", &m.requests},
+		{"errors_total", &m.errors},
+		{"cache_hits", &m.cacheHits},
+		{"cache_misses", &m.cacheMisses},
+		{"in_flight", &m.inFlight},
+		{"endpoints", &m.endpoints},
+	}
+	sort.Slice(vars, func(i, j int) bool { return vars[i].name < vars[j].name })
+	fmt.Fprintf(w, "{\n")
+	for i, kv := range vars {
+		if i > 0 {
+			fmt.Fprintf(w, ",\n")
+		}
+		fmt.Fprintf(w, "%q: %s", kv.name, kv.v.String())
+	}
+	fmt.Fprintf(w, "\n}\n")
+}

@@ -1,0 +1,388 @@
+// Package service implements tradeoffd's HTTP API: the unified
+// tradeoff methodology (Eqs. 1–9) and the design-space sweep engine
+// behind a JSON interface.
+//
+// Endpoints:
+//
+//	POST /v1/tradeoff  price one feature at a design point (ΔHR, the
+//	                   miss-count/bus-width ratio r, Eq. 9 line-fill
+//	                   time, optional Eq. 2 execution time)
+//	POST /v1/sweep     full design-space sweep → JSON or CSV
+//	GET  /healthz      liveness probe
+//	GET  /metrics      expvar counters: requests, errors, cache
+//	                   hits/misses, in-flight, per-endpoint latency
+//
+// Both POST endpoints are pure functions of their payloads, so
+// responses are memoized in a size-bounded LRU keyed by the
+// canonicalized request. Request contexts flow into the sweep worker
+// pool: a disconnected client cancels its in-flight sweep.
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+
+	"tradeoff/internal/core"
+	"tradeoff/internal/sweep"
+)
+
+// maxBodyBytes bounds request payloads; a sweep config is a few
+// hundred bytes, so 1 MiB is already generous.
+const maxBodyBytes = 1 << 20
+
+// Options configures a Server. The zero value is ready for production.
+type Options struct {
+	// CacheEntries bounds the response LRU (default 256).
+	CacheEntries int
+	// Workers sizes the sweep pool (default 0 = runtime.NumCPU()).
+	Workers int
+	// Limits bounds untrusted sweep payloads (zero value =
+	// sweep.DefaultLimits).
+	Limits sweep.Limits
+}
+
+// Server is the tradeoffd HTTP service: stateless handlers over the
+// shared sweep engine plus a response LRU and expvar counters.
+type Server struct {
+	opts    Options
+	mux     *http.ServeMux
+	cache   *lruCache
+	metrics *metrics
+}
+
+// New builds a Server with its routes registered.
+func New(opts Options) *Server {
+	if opts.CacheEntries == 0 {
+		opts.CacheEntries = 256
+	}
+	if opts.Limits == (sweep.Limits{}) {
+		opts.Limits = sweep.DefaultLimits
+	}
+	s := &Server{
+		opts:    opts,
+		mux:     http.NewServeMux(),
+		cache:   newLRUCache(opts.CacheEntries),
+		metrics: newMetrics(),
+	}
+	s.mux.HandleFunc("/v1/tradeoff", s.metrics.instrument("/v1/tradeoff", s.handleTradeoff))
+	s.mux.HandleFunc("/v1/sweep", s.metrics.instrument("/v1/sweep", s.handleSweep))
+	s.mux.HandleFunc("/healthz", s.metrics.instrument("/healthz", s.handleHealthz))
+	s.mux.HandleFunc("/metrics", s.metrics.serveHTTP)
+	return s
+}
+
+// Handler returns the root handler for an http.Server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// CacheHits returns the memoization hit count (for tests and ops).
+func (s *Server) CacheHits() int64 { return s.metrics.cacheHits.Value() }
+
+// TradeoffRequest is the POST /v1/tradeoff payload. Omitted fields
+// take the same defaults as the tradeoff CLI flags.
+type TradeoffRequest struct {
+	Feature  string   `json:"feature"`             // bus, stall, wbuf or pipe
+	HitRatio *float64 `json:"hit_ratio,omitempty"` // base hit ratio (default 0.95)
+	Alpha    *float64 `json:"alpha,omitempty"`     // flush ratio (default 0.5)
+	L        *float64 `json:"l,omitempty"`         // line size in bytes (default 32)
+	D        *float64 `json:"d,omitempty"`         // bus width in bytes (default 4)
+	BetaM    *float64 `json:"beta_m,omitempty"`    // memory cycle time (default 10)
+	Phi      *float64 `json:"phi,omitempty"`       // stall: stalling factor (default 1)
+	Q        *float64 `json:"q,omitempty"`         // pipe: readiness interval (default 2)
+	Issue    *float64 `json:"issue,omitempty"`     // issue width (default 1 = Eq. 6)
+	// Profile optionally supplies {E, R, W} so the response can include
+	// the absolute Eq. (2) execution time of the base system.
+	Profile *ProfileRequest `json:"profile,omitempty"`
+}
+
+// ProfileRequest is the optional application profile of Table 1.
+type ProfileRequest struct {
+	E float64 `json:"e"` // instructions executed
+	R float64 `json:"r"` // bytes read on misses
+	W float64 `json:"w"` // write-around miss count
+}
+
+// setDefaults fills nil fields with the CLI defaults so the canonical
+// memoization key is independent of which defaults were spelled out.
+func (t *TradeoffRequest) setDefaults() {
+	def := func(p **float64, v float64) {
+		if *p == nil {
+			*p = &v
+		}
+	}
+	def(&t.HitRatio, 0.95)
+	def(&t.Alpha, 0.5)
+	def(&t.L, 32)
+	def(&t.D, 4)
+	def(&t.BetaM, 10)
+	def(&t.Phi, 1)
+	def(&t.Q, 2)
+	def(&t.Issue, 1)
+}
+
+// featureSpec maps the request's feature name onto the core spec —
+// the same four names the tradeoff CLI accepts.
+func (t *TradeoffRequest) featureSpec() (core.FeatureSpec, error) {
+	switch t.Feature {
+	case "bus":
+		return core.FeatureSpec{Feature: core.FeatureDoubleBus}, nil
+	case "stall":
+		return core.FeatureSpec{Feature: core.FeaturePartialStall, Phi: *t.Phi}, nil
+	case "wbuf":
+		return core.FeatureSpec{Feature: core.FeatureWriteBuffers}, nil
+	case "pipe":
+		return core.FeatureSpec{Feature: core.FeaturePipelinedMemory, Q: *t.Q}, nil
+	case "":
+		return core.FeatureSpec{}, fmt.Errorf("missing feature (want bus, stall, wbuf or pipe)")
+	default:
+		return core.FeatureSpec{}, fmt.Errorf("unknown feature %q (want bus, stall, wbuf or pipe)", t.Feature)
+	}
+}
+
+// TradeoffResponse prices the feature: Eq. (6) ΔHR, the Table 3
+// miss-count ratio (the bus-width byte ratio for feature "bus"), and
+// the pipelined-memory auxiliaries of Eq. (9).
+type TradeoffResponse struct {
+	Feature            string  `json:"feature"`
+	MissCountRatio     float64 `json:"miss_count_ratio"` // r (Eq. 3 / Table 3)
+	S                  float64 `json:"s"`                // Λh/Λm of the base system
+	BaseHitRatio       float64 `json:"base_hit_ratio"`
+	DeltaHR            float64 `json:"delta_hr"`
+	EquivalentHitRatio float64 `json:"equivalent_hit_ratio"`
+	Valid              bool    `json:"valid"`
+	// BetaP is Eq. (9)'s pipelined line-fill time (feature "pipe").
+	BetaP float64 `json:"beta_p,omitempty"`
+	// CrossoverBetaM is the βm beyond which pipelining out-trades bus
+	// doubling; omitted when infinite (L = 2D) or not applicable.
+	CrossoverBetaM float64 `json:"crossover_beta_m,omitempty"`
+	// Exec carries the Eq. (2) execution time when a profile was given.
+	Exec *ExecResponse `json:"exec,omitempty"`
+}
+
+// ExecResponse is the absolute Eq. (2) evaluation of the base
+// (full-blocking) system on the supplied profile.
+type ExecResponse struct {
+	ExecutionCycles   float64 `json:"execution_cycles"`    // Eq. (2)
+	MemoryDelayCycles float64 `json:"memory_delay_cycles"` // stall terms of Eq. (2)
+	Misses            float64 `json:"misses"`              // Λm = R/L + W (Eq. 1)
+}
+
+func (s *Server) handleTradeoff(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req TradeoffRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	req.setDefaults()
+
+	key, err := json.Marshal(req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if s.replayCached(w, "tradeoff|"+string(key)) {
+		return
+	}
+
+	spec, err := req.featureSpec()
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	var tr core.Tradeoff
+	if *req.Issue > 1 {
+		tr, err = core.MultiIssueTradeoff(spec, *req.HitRatio, *req.Alpha, *req.L, *req.D, *req.BetaM, *req.Issue)
+	} else {
+		tr, err = core.FeatureTradeoff(spec, *req.HitRatio, *req.Alpha, *req.L, *req.D, *req.BetaM)
+	}
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	resp := TradeoffResponse{
+		Feature:            tr.Feature.String(),
+		MissCountRatio:     tr.R,
+		S:                  tr.S,
+		BaseHitRatio:       tr.BaseHR,
+		DeltaHR:            tr.DeltaHR,
+		EquivalentHitRatio: tr.NewHR,
+		Valid:              tr.Valid,
+	}
+	if spec.Feature == core.FeaturePipelinedMemory {
+		resp.BetaP = core.BetaP(*req.BetaM, *req.Q, *req.L, *req.D)
+		if x, err := core.PipelineCrossover(*req.Q, *req.L, *req.D); err == nil && !math.IsInf(x, 0) {
+			resp.CrossoverBetaM = x
+		}
+	}
+	if req.Profile != nil {
+		p := core.Params{
+			E: req.Profile.E, R: req.Profile.R, W: req.Profile.W,
+			Alpha: *req.Alpha, D: *req.D, L: *req.L, BetaM: *req.BetaM,
+		}
+		p = p.WithFullStall()
+		if err := p.Validate(); err != nil {
+			httpError(w, http.StatusUnprocessableEntity, err.Error())
+			return
+		}
+		resp.Exec = &ExecResponse{
+			ExecutionCycles:   core.ExecutionTime(p),
+			MemoryDelayCycles: core.MemoryDelayCycles(p),
+			Misses:            p.Misses(),
+		}
+	}
+	s.writeAndCache(w, "tradeoff|"+string(key), "application/json", mustJSON(resp))
+}
+
+// SweepResponse is the JSON shape of POST /v1/sweep.
+type SweepResponse struct {
+	Count       int            `json:"count"`
+	ParetoCount int            `json:"pareto_count"`
+	Designs     []sweep.Design `json:"designs"`
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	cfg, err := sweep.ParseConfig(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := cfg.CheckLimits(s.opts.Limits); err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	format, err := sweepFormat(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	canon, err := cfg.Canonical()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	key := "sweep|" + format + "|" + string(canon)
+	if s.replayCached(w, key) {
+		return
+	}
+
+	designs, err := sweep.Run(r.Context(), cfg, s.opts.Workers)
+	switch {
+	case errors.Is(err, r.Context().Err()) && r.Context().Err() != nil:
+		// Client went away; nobody is reading, don't poison counters
+		// with a 5xx nor cache a partial result.
+		httpError(w, statusClientClosedRequest, "request cancelled")
+		return
+	case err != nil:
+		httpError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+
+	if format == "csv" {
+		var buf bytes.Buffer
+		if err := sweep.WriteCSV(&buf, designs); err != nil {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		s.writeAndCache(w, key, "text/csv; charset=utf-8", buf.Bytes())
+		return
+	}
+	resp := SweepResponse{Count: len(designs), ParetoCount: sweep.ParetoCount(designs), Designs: designs}
+	s.writeAndCache(w, key, "application/json", mustJSON(resp))
+}
+
+// statusClientClosedRequest is nginx's non-standard 499: the client
+// disconnected before the response was written.
+const statusClientClosedRequest = 499
+
+// sweepFormat picks the response encoding: ?format=csv|json wins,
+// otherwise an Accept: text/csv header, otherwise JSON.
+func sweepFormat(r *http.Request) (string, error) {
+	switch f := r.URL.Query().Get("format"); f {
+	case "csv", "json":
+		return f, nil
+	case "":
+	default:
+		return "", fmt.Errorf("unknown format %q (want json or csv)", f)
+	}
+	if accept := r.Header.Get("Accept"); strings.Contains(accept, "text/csv") {
+		return "csv", nil
+	}
+	return "json", nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+// replayCached serves a memoized response if present, counting the
+// hit/miss either way.
+func (s *Server) replayCached(w http.ResponseWriter, key string) bool {
+	resp, ok := s.cache.get(key)
+	if !ok {
+		s.metrics.cacheMisses.Add(1)
+		return false
+	}
+	s.metrics.cacheHits.Add(1)
+	w.Header().Set("Content-Type", resp.contentType)
+	w.Header().Set("X-Cache", "hit")
+	w.Write(resp.body)
+	return true
+}
+
+// writeAndCache sends a fresh response and memoizes it.
+func (s *Server) writeAndCache(w http.ResponseWriter, key, contentType string, body []byte) {
+	s.cache.put(key, cachedResponse{contentType: contentType, body: body})
+	w.Header().Set("Content-Type", contentType)
+	w.Header().Set("X-Cache", "miss")
+	w.Write(body)
+}
+
+// decodeJSON decodes a bounded request body into v.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("decoding request: %w", err)
+	}
+	return nil
+}
+
+// mustJSON marshals a response the server itself constructed; a
+// failure is a programming error.
+func mustJSON(v any) []byte {
+	data, err := json.Marshal(v)
+	if err != nil {
+		panic(err)
+	}
+	return append(data, '\n')
+}
+
+// httpError writes a JSON error body with the given status.
+func httpError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

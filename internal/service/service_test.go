@@ -1,0 +1,347 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+
+	"tradeoff/internal/core"
+	"tradeoff/internal/sweep"
+)
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(Options{})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func post(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data := make([]byte, 0, 4096)
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		data = append(data, buf[:n]...)
+		if err != nil {
+			break
+		}
+	}
+	return resp, data
+}
+
+func TestTradeoffEndpointMatchesCore(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, body := post(t, ts.URL+"/v1/tradeoff",
+		`{"feature":"bus","hit_ratio":0.95,"alpha":0.5,"l":32,"d":4,"beta_m":10}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var got TradeoffResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatalf("unmarshal: %v\n%s", err, body)
+	}
+	want, err := core.FeatureTradeoff(core.FeatureSpec{Feature: core.FeatureDoubleBus}, 0.95, 0.5, 32, 4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.DeltaHR-want.DeltaHR) > 1e-12 || math.Abs(got.MissCountRatio-want.R) > 1e-12 {
+		t.Fatalf("endpoint ΔHR=%v r=%v, core ΔHR=%v r=%v", got.DeltaHR, got.MissCountRatio, want.DeltaHR, want.R)
+	}
+	if !got.Valid || got.Feature != want.Feature.String() {
+		t.Fatalf("valid=%v feature=%q", got.Valid, got.Feature)
+	}
+}
+
+func TestTradeoffDefaultsMirrorCLI(t *testing.T) {
+	// An empty body (all defaults) must price like the CLI's default
+	// flags: -hr 0.95 -alpha 0.5 -l 32 -d 4 -beta 10.
+	_, ts := newTestServer(t)
+	resp, body := post(t, ts.URL+"/v1/tradeoff", `{"feature":"wbuf"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var got TradeoffResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := core.FeatureTradeoff(core.FeatureSpec{Feature: core.FeatureWriteBuffers}, 0.95, 0.5, 32, 4, 10)
+	if math.Abs(got.DeltaHR-want.DeltaHR) > 1e-12 {
+		t.Fatalf("defaulted ΔHR = %v, want %v", got.DeltaHR, want.DeltaHR)
+	}
+}
+
+func TestTradeoffPipeExtras(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, body := post(t, ts.URL+"/v1/tradeoff", `{"feature":"pipe","q":2,"l":32,"d":4,"beta_m":8}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var got TradeoffResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if want := core.BetaP(8, 2, 32, 4); got.BetaP != want {
+		t.Fatalf("beta_p = %v, want %v", got.BetaP, want)
+	}
+	if want, _ := core.PipelineCrossover(2, 32, 4); math.Abs(got.CrossoverBetaM-want) > 1e-12 {
+		t.Fatalf("crossover = %v, want %v", got.CrossoverBetaM, want)
+	}
+	// L = 2D: the crossover is +Inf and must be omitted, not break JSON.
+	resp, body = post(t, ts.URL+"/v1/tradeoff", `{"feature":"pipe","l":8,"d":4}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("L=2D status %d: %s", resp.StatusCode, body)
+	}
+	got = TradeoffResponse{}
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.CrossoverBetaM != 0 {
+		t.Fatalf("L=2D crossover = %v, want omitted", got.CrossoverBetaM)
+	}
+}
+
+func TestTradeoffProfileExecTime(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, body := post(t, ts.URL+"/v1/tradeoff",
+		`{"feature":"bus","profile":{"e":1000000,"r":64000,"w":300}}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var got TradeoffResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Exec == nil {
+		t.Fatal("no exec block despite profile")
+	}
+	p := core.Params{E: 1e6, R: 64000, W: 300, Alpha: 0.5, D: 4, L: 32, BetaM: 10}.WithFullStall()
+	if want := core.ExecutionTime(p); math.Abs(got.Exec.ExecutionCycles-want) > 1e-6 {
+		t.Fatalf("execution_cycles = %v, want %v", got.Exec.ExecutionCycles, want)
+	}
+	if want := p.Misses(); got.Exec.Misses != want {
+		t.Fatalf("misses = %v, want %v", got.Exec.Misses, want)
+	}
+}
+
+func TestTradeoffRejects(t *testing.T) {
+	_, ts := newTestServer(t)
+	cases := []struct {
+		body string
+		code int
+	}{
+		{`{`, http.StatusBadRequest},
+		{`{"feature":"warp-drive"}`, http.StatusUnprocessableEntity},
+		{`{}`, http.StatusUnprocessableEntity},                                   // missing feature
+		{`{"feature":"bus","hit_ratio":1.5}`, http.StatusUnprocessableEntity},    // HR out of (0,1)
+		{`{"feature":"stall","phi":99}`, http.StatusUnprocessableEntity},         // φ > L/D
+		{`{"feature":"bus","l":4,"d":4}`, http.StatusUnprocessableEntity},        // L < 2D
+		{`{"feature":"bus","profile":{"e":-1}}`, http.StatusUnprocessableEntity}, // bad profile
+	}
+	for _, c := range cases {
+		resp, body := post(t, ts.URL+"/v1/tradeoff", c.body)
+		if resp.StatusCode != c.code {
+			t.Errorf("%s: status %d, want %d (%s)", c.body, resp.StatusCode, c.code, body)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/tradeoff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/tradeoff: status %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestSweepEndpointJSONAndCSV(t *testing.T) {
+	s, ts := newTestServer(t)
+	resp, body := post(t, ts.URL+"/v1/sweep", sweep.ExampleConfig)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var got SweepResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if got.Count != 30 || len(got.Designs) != 30 {
+		t.Fatalf("count = %d (%d designs), want 30", got.Count, len(got.Designs))
+	}
+	if got.ParetoCount == 0 || got.ParetoCount == got.Count {
+		t.Fatalf("pareto_count %d of %d implausible", got.ParetoCount, got.Count)
+	}
+
+	// CSV format matches the engine's (and hence the CLI's) golden bytes.
+	resp, body = post(t, ts.URL+"/v1/sweep?format=csv", sweep.ExampleConfig)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("csv status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/csv") {
+		t.Fatalf("csv content type %q", ct)
+	}
+	golden, err := os.ReadFile("../sweep/testdata/example_golden.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(body) != string(golden) {
+		t.Fatalf("service CSV differs from the serial golden output:\n%s", body)
+	}
+	_ = s
+}
+
+func TestSweepMemoized(t *testing.T) {
+	s, ts := newTestServer(t)
+	before := s.CacheHits()
+	resp, _ := post(t, ts.URL+"/v1/sweep", sweep.ExampleConfig)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if resp.Header.Get("X-Cache") != "miss" {
+		t.Fatalf("first request X-Cache = %q, want miss", resp.Header.Get("X-Cache"))
+	}
+	// Same space, different field order and whitespace: must hit.
+	reordered := `{"cpu_ns":30,"transfer_ns":60,"latency_ns":360,
+		"bus_bits":[32,64],"line_bytes":[16,32,64],"cache_kb":[4,8,16,32,64],
+		"assoc":2,"hit_source":"model"}`
+	resp2, body2 := post(t, ts.URL+"/v1/sweep", reordered)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp2.StatusCode, body2)
+	}
+	if resp2.Header.Get("X-Cache") != "hit" {
+		t.Fatalf("second request X-Cache = %q, want hit", resp2.Header.Get("X-Cache"))
+	}
+	if s.CacheHits() != before+1 {
+		t.Fatalf("cache hits %d, want %d", s.CacheHits(), before+1)
+	}
+	// The metrics endpoint reports the same counter.
+	var m struct {
+		CacheHits int64 `json:"cache_hits"`
+	}
+	respM, bodyM := get(t, ts.URL+"/metrics")
+	if respM.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", respM.StatusCode)
+	}
+	if err := json.Unmarshal(bodyM, &m); err != nil {
+		t.Fatalf("metrics not JSON: %v\n%s", err, bodyM)
+	}
+	if m.CacheHits != s.CacheHits() {
+		t.Fatalf("metrics cache_hits = %d, want %d", m.CacheHits, s.CacheHits())
+	}
+}
+
+func TestSweepRejects(t *testing.T) {
+	_, ts := newTestServer(t)
+	cases := []struct {
+		url, body string
+		code      int
+	}{
+		{"/v1/sweep", `{`, http.StatusBadRequest},
+		{"/v1/sweep", `{"cache_kb":[8],"line_bytes":[32],"bus_bits":[32],"latency_ns":0,"transfer_ns":1,"cpu_ns":1}`, http.StatusBadRequest},
+		{"/v1/sweep?format=xml", sweep.ExampleConfig, http.StatusBadRequest},
+		// Over the default service limits: a 1 GiB simulated cache.
+		{"/v1/sweep", `{"cache_kb":[1048576],"line_bytes":[32],"bus_bits":[32],"latency_ns":360,"transfer_ns":60,"cpu_ns":30,"hit_source":"sim:zipf"}`, http.StatusUnprocessableEntity},
+	}
+	for _, c := range cases {
+		resp, body := post(t, ts.URL+c.url, c.body)
+		if resp.StatusCode != c.code {
+			t.Errorf("%s %s: status %d, want %d (%s)", c.url, c.body, resp.StatusCode, c.code, body)
+		}
+	}
+}
+
+func TestSweepClientDisconnectCancels(t *testing.T) {
+	// Drive the handler directly with an already-cancelled request
+	// context: the sweep pool must abort and report 499, not 200.
+	s := New(Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest(http.MethodPost, "/v1/sweep", strings.NewReader(sweep.ExampleConfig)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != statusClientClosedRequest {
+		t.Fatalf("cancelled sweep status %d, want %d", rec.Code, statusClientClosedRequest)
+	}
+}
+
+func get(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var data []byte
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		data = append(data, buf[:n]...)
+		if err != nil {
+			break
+		}
+	}
+	return resp, data
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, body := get(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK || string(body) != "ok\n" {
+		t.Fatalf("healthz: %d %q", resp.StatusCode, body)
+	}
+}
+
+func TestMetricsCountersAdvance(t *testing.T) {
+	s, ts := newTestServer(t)
+	post(t, ts.URL+"/v1/tradeoff", `{"feature":"bus"}`)
+	post(t, ts.URL+"/v1/tradeoff", `{"feature":"nope"}`)
+	var m struct {
+		Requests  int64 `json:"requests_total"`
+		Errors    int64 `json:"errors_total"`
+		InFlight  int64 `json:"in_flight"`
+		Endpoints map[string]struct {
+			Requests     int64 `json:"requests"`
+			Errors       int64 `json:"errors"`
+			LatencyTotal int64 `json:"latency_us_total"`
+		} `json:"endpoints"`
+	}
+	_, body := get(t, ts.URL+"/metrics")
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatalf("metrics not JSON: %v\n%s", err, body)
+	}
+	if m.Requests < 2 || m.Errors < 1 || m.InFlight != 0 {
+		t.Fatalf("requests=%d errors=%d in_flight=%d", m.Requests, m.Errors, m.InFlight)
+	}
+	ep, ok := m.Endpoints["/v1/tradeoff"]
+	if !ok || ep.Requests != 2 || ep.Errors != 1 {
+		t.Fatalf("endpoint counters: %+v (ok=%v)", ep, ok)
+	}
+	_ = s
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := newLRUCache(2)
+	c.put("a", cachedResponse{body: []byte("a")})
+	c.put("b", cachedResponse{body: []byte("b")})
+	c.get("a") // refresh a; b is now LRU
+	c.put("c", cachedResponse{body: []byte("c")})
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a should have survived")
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+}

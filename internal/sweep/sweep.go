@@ -1,0 +1,244 @@
+package sweep
+
+import (
+	"context"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+
+	"tradeoff/internal/area"
+	"tradeoff/internal/cache"
+	"tradeoff/internal/core"
+	"tradeoff/internal/missratio"
+	"tradeoff/internal/trace"
+)
+
+// Design is one evaluated point of the space: the knobs, the measured
+// or modeled hit ratio, and the three cost/performance axes of the
+// §5.2 study.
+type Design struct {
+	CacheKB   int     `json:"cache_kb"`
+	LineBytes int     `json:"line_bytes"`
+	BusBits   int     `json:"bus_bits"`
+	HitRatio  float64 `json:"hit_ratio"`
+	Delay     float64 `json:"delay_per_ref"`
+	AreaRBE   float64 `json:"area_rbe"`
+	Pins      int     `json:"pins"`
+	Pareto    bool    `json:"pareto"`
+}
+
+// point is one enumerated (cache, line, bus) combination awaiting
+// evaluation.
+type point struct {
+	cacheKB, line, busBits int
+}
+
+// Run evaluates the whole design space on a bounded worker pool and
+// returns the designs in enumeration order (cache size outermost, bus
+// width innermost) with Pareto flags set — byte-for-byte the order a
+// serial sweep produces. workers <= 0 selects runtime.NumCPU(). The
+// context cancels in-flight evaluation: a disconnected HTTP client or
+// an interrupted CLI stops the pool early with ctx.Err().
+func Run(ctx context.Context, cfg Config, workers int) ([]Design, error) {
+	cfg.SetDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	hit, err := hitFunc(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	var points []point
+	for _, kb := range cfg.CacheKB {
+		for _, line := range cfg.LineBytes {
+			for _, busBits := range cfg.BusBits {
+				if line < 2*(busBits/8) {
+					continue // a line must span at least two bus transfers
+				}
+				points = append(points, point{kb, line, busBits})
+			}
+		}
+	}
+	if len(points) == 0 {
+		return nil, fmt.Errorf("sweep: empty design space (every line < 2D?)")
+	}
+
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(points) {
+		workers = len(points)
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// Workers pull indices from jobs and write to their slot in out, so
+	// completion order never affects output order.
+	out := make([]Design, len(points))
+	jobs := make(chan int)
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() { firstErr = err })
+		cancel()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if ctx.Err() != nil {
+					return
+				}
+				d, err := evaluate(cfg, hit, points[i])
+				if err != nil {
+					fail(err)
+					return
+				}
+				out[i] = d
+			}
+		}()
+	}
+feed:
+	for i := range points {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	MarkPareto(out)
+	return out, nil
+}
+
+// evaluate prices one design point: hit ratio from the configured
+// source, Eq. (2)-style mean delay per reference, rbe area and pins.
+func evaluate(cfg Config, hit hitRatioFunc, p point) (Design, error) {
+	d := p.busBits / 8
+	hr, err := hit(p.cacheKB<<10, p.line)
+	if err != nil {
+		return Design{}, err
+	}
+	c := 1 + cfg.LatencyNS/cfg.CPUNS
+	beta := cfg.TransferNS / cfg.CPUNS
+	delay := core.MeanDelayPerRef(hr, c, beta, float64(p.line), float64(d))
+	rbe, err := area.RBE(area.CacheGeometry{
+		Size: p.cacheKB << 10, LineSize: p.line, Assoc: cfg.Assoc, AddrBits: cfg.AddrBits})
+	if err != nil {
+		return Design{}, err
+	}
+	pins := area.Pins{DataBits: p.busBits, AddrBits: cfg.AddrBits, Control: cfg.CtrlPins}
+	return Design{
+		CacheKB: p.cacheKB, LineBytes: p.line, BusBits: p.busBits,
+		HitRatio: hr, Delay: delay, AreaRBE: rbe, Pins: pins.Total(),
+	}, nil
+}
+
+// hitRatioFunc prices the hit ratio of a (size, line) cache.
+type hitRatioFunc func(sizeBytes, line int) (float64, error)
+
+// hitFunc returns the hit-ratio source selected by the config: the
+// calibrated design-target surface ("model") or cache simulation of a
+// named workload ("sim:<name>"). Simulated sources build a private
+// trace and cache per call, so the returned function is safe for
+// concurrent use by the pool.
+func hitFunc(cfg Config) (hitRatioFunc, error) {
+	if cfg.HitSource == "model" {
+		m := missratio.DefaultModel()
+		return func(size, line int) (float64, error) {
+			return 1 - m.MissRatio(size, line), nil
+		}, nil
+	}
+	name := strings.TrimPrefix(cfg.HitSource, "sim:")
+	return func(size, line int) (float64, error) {
+		var src trace.Source
+		if name == "zipf" {
+			src = trace.ZipfReuse(trace.ZipfReuseConfig{
+				Seed: cfg.Seed, Base: 0x1000_0000, Lines: 65536, Theta: 1.5, WriteFrac: 0.3})
+		} else {
+			var err error
+			src, err = trace.NewProgram(name, cfg.Seed)
+			if err != nil {
+				return 0, err
+			}
+		}
+		c, err := cache.New(cache.Config{Size: size, LineSize: line, Assoc: cfg.Assoc})
+		if err != nil {
+			return 0, err
+		}
+		return cache.MeasureSource(c, src, cfg.SimRefs).HitRatio, nil
+	}, nil
+}
+
+// MarkPareto flags designs not dominated in (delay, area, pins).
+func MarkPareto(ds []Design) {
+	for i := range ds {
+		a := &ds[i]
+		a.Pareto = true
+		for j := range ds {
+			if i == j {
+				continue
+			}
+			b := &ds[j]
+			if b.Delay <= a.Delay && b.AreaRBE <= a.AreaRBE && b.Pins <= a.Pins &&
+				(b.Delay < a.Delay || b.AreaRBE < a.AreaRBE || b.Pins < a.Pins) {
+				a.Pareto = false
+				break
+			}
+		}
+	}
+}
+
+// ParetoCount returns the number of Pareto-efficient designs.
+func ParetoCount(ds []Design) int {
+	n := 0
+	for i := range ds {
+		if ds[i].Pareto {
+			n++
+		}
+	}
+	return n
+}
+
+// WriteCSV emits the sweep's canonical CSV: one row per design in
+// slice order, with the exact column set and float formatting the
+// original serial cmd/sweep produced.
+func WriteCSV(w io.Writer, ds []Design) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"cache_kb", "line_bytes", "bus_bits", "hit_ratio", "delay_per_ref", "area_rbe", "pins", "pareto"}); err != nil {
+		return err
+	}
+	for i := range ds {
+		d := &ds[i]
+		rec := []string{
+			strconv.Itoa(d.CacheKB), strconv.Itoa(d.LineBytes), strconv.Itoa(d.BusBits),
+			strconv.FormatFloat(d.HitRatio, 'f', 5, 64),
+			strconv.FormatFloat(d.Delay, 'f', 4, 64),
+			strconv.FormatFloat(d.AreaRBE, 'f', 0, 64),
+			strconv.Itoa(d.Pins),
+			strconv.FormatBool(d.Pareto),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,161 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"testing"
+)
+
+// goldenExample runs the -example config at the given pool size and
+// returns the CSV bytes.
+func goldenExample(t *testing.T, workers int) []byte {
+	t.Helper()
+	cfg, err := ParseConfig([]byte(ExampleConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := Run(context.Background(), cfg, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestGoldenExample pins the engine to the byte-exact CSV the original
+// serial cmd/sweep emitted for the -example config
+// (testdata/example_golden.csv, captured before the parallel rewrite),
+// at several pool sizes: parallelism must not change a single byte.
+func TestGoldenExample(t *testing.T) {
+	want, err := os.ReadFile("testdata/example_golden.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 0} {
+		got := goldenExample(t, workers)
+		if !bytes.Equal(got, want) {
+			t.Errorf("workers=%d: CSV differs from the serial golden output\ngot:\n%s\nwant:\n%s",
+				workers, got, want)
+		}
+	}
+}
+
+// TestParallelMatchesSerialSim repeats the determinism check on the
+// simulated hit-ratio path, whose per-point work is heavy enough that
+// workers genuinely interleave.
+func TestParallelMatchesSerialSim(t *testing.T) {
+	cfg := Config{
+		CacheKB: []int{4, 8, 16}, LineBytes: []int{16, 32}, BusBits: []int{32, 64},
+		LatencyNS: 360, TransferNS: 60, CPUNS: 30,
+		HitSource: "sim:zipf", SimRefs: 5000,
+	}
+	run := func(workers int) []byte {
+		ds, err := Run(context.Background(), cfg, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, ds); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	serial := run(1)
+	parallel := run(8)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("parallel sim sweep differs from serial:\n%s\nvs\n%s", parallel, serial)
+	}
+}
+
+func TestRunCancelled(t *testing.T) {
+	cfg, err := ParseConfig([]byte(ExampleConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, cfg, 2); err != context.Canceled {
+		t.Fatalf("Run on a cancelled context: err = %v, want context.Canceled", err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []string{
+		`{`,
+		`{"cache_kb": [], "line_bytes": [32], "bus_bits": [32], "latency_ns": 1, "transfer_ns": 1, "cpu_ns": 1}`,
+		`{"cache_kb": [8], "line_bytes": [32], "bus_bits": [32], "latency_ns": 0, "transfer_ns": 1, "cpu_ns": 1}`,
+		`{"cache_kb": [8], "line_bytes": [32], "bus_bits": [32], "latency_ns": 1, "transfer_ns": 1, "cpu_ns": 1, "hit_source": "psychic"}`,
+		`{"cache_kb": [-8], "line_bytes": [32], "bus_bits": [32], "latency_ns": 1, "transfer_ns": 1, "cpu_ns": 1}`,
+		`{"cache_kb": [8], "line_bytes": [0], "bus_bits": [32], "latency_ns": 1, "transfer_ns": 1, "cpu_ns": 1}`,
+		`{"cache_kb": [8], "line_bytes": [32], "bus_bits": [12], "latency_ns": 1, "transfer_ns": 1, "cpu_ns": 1}`,
+		`{"cache_kb": [8], "line_bytes": [32], "bus_bits": [32], "latency_ns": 1, "transfer_ns": 1, "cpu_ns": 1, "sim_refs": -1}`,
+		`{"cache_kb": [8], "line_bytes": [32], "bus_bits": [32], "latency_ns": 1, "transfer_ns": 1, "cpu_ns": 1, "addr_bits": 4096}`,
+	}
+	for i, body := range cases {
+		if _, err := ParseConfig([]byte(body)); err == nil {
+			t.Errorf("case %d: bad config accepted: %s", i, body)
+		}
+	}
+}
+
+func TestCheckLimits(t *testing.T) {
+	cfg, err := ParseConfig([]byte(ExampleConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.CheckLimits(DefaultLimits); err != nil {
+		t.Fatalf("example config exceeds default limits: %v", err)
+	}
+	if err := cfg.CheckLimits(Limits{MaxPoints: 4}); err == nil {
+		t.Error("30-point space passed a 4-point limit")
+	}
+	if err := cfg.CheckLimits(Limits{MaxCacheKB: 32}); err == nil {
+		t.Error("64 KiB cache passed a 32 KiB limit")
+	}
+	big := cfg
+	big.SimRefs = 10_000_000
+	if err := big.CheckLimits(DefaultLimits); err == nil {
+		t.Error("10M sim_refs passed the default limit")
+	}
+}
+
+func TestCanonicalIgnoresFieldOrderAndDefaults(t *testing.T) {
+	a, err := ParseConfig([]byte(`{"cache_kb":[8],"line_bytes":[32],"bus_bits":[32],"latency_ns":360,"transfer_ns":60,"cpu_ns":30}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseConfig([]byte(`{"cpu_ns":30,"transfer_ns":60,"latency_ns":360,"bus_bits":[32],"line_bytes":[32],"cache_kb":[8],"assoc":2,"hit_source":"model","seed":1994}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, err := a.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := b.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ca, cb) {
+		t.Fatalf("canonical keys differ:\n%s\nvs\n%s", ca, cb)
+	}
+}
+
+func TestParetoCount(t *testing.T) {
+	ds := []Design{
+		{Delay: 1, AreaRBE: 2, Pins: 3},
+		{Delay: 2, AreaRBE: 3, Pins: 4}, // dominated by the first
+		{Delay: 0.5, AreaRBE: 5, Pins: 3},
+	}
+	MarkPareto(ds)
+	if !ds[0].Pareto || ds[1].Pareto || !ds[2].Pareto {
+		t.Fatalf("pareto flags = %v %v %v", ds[0].Pareto, ds[1].Pareto, ds[2].Pareto)
+	}
+	if n := ParetoCount(ds); n != 2 {
+		t.Fatalf("ParetoCount = %d, want 2", n)
+	}
+}
