@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race bench figures figures-fast report examples serve clean
+.PHONY: all build vet lint test test-short race bench figures figures-fast report examples serve clean
 
-all: build vet test race
+all: build lint test race
 
 build:
 	$(GO) build ./...
@@ -13,15 +13,23 @@ vet:
 	$(GO) vet ./...
 	gofmt -l . | tee /dev/stderr | wc -l | grep -q '^0$$'
 
+# Full static analysis: go vet + gofmt (the vet target) plus the
+# repo's own tradeoffvet suite (parameter domains, float discipline,
+# context propagation, error handling, metric hygiene).
+lint: vet
+	$(GO) run ./cmd/tradeoffvet ./...
+
 test:
 	$(GO) test ./...
 
 test-short:
 	$(GO) test -short ./...
 
-# Race-detector pass over the concurrent subsystems (sweep pool + service).
+# Race-detector pass over every package (the concurrent subsystems —
+# sweep pool + service — are where it bites, but regressions can creep
+# in anywhere).
 race:
-	$(GO) test -race ./internal/sweep ./internal/service
+	$(GO) test -race ./...
 
 # Run the HTTP evaluation service on :8080.
 serve:

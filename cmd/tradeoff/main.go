@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"tradeoff/internal/core"
 )
@@ -49,27 +50,31 @@ func main() {
 	}
 }
 
-// run evaluates the tradeoff and writes the report to w.
+// run evaluates the tradeoff and writes the report to w. The report is
+// assembled in memory so the only fallible write is the final one,
+// whose error reaches the exit status.
 func run(w io.Writer, spec core.FeatureSpec, hr, alpha, l, d, beta, q float64) error {
 	tr, err := core.FeatureTradeoff(spec, hr, alpha, l, d, beta)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "feature:            %s\n", tr.Feature)
-	fmt.Fprintf(w, "design point:       L=%g D=%g beta_m=%g alpha=%g\n", l, d, beta, alpha)
-	fmt.Fprintf(w, "miss-count ratio r: %.4f\n", tr.R)
-	fmt.Fprintf(w, "base hit ratio:     %.4f (s = %.2f)\n", tr.BaseHR, tr.S)
-	fmt.Fprintf(w, "hit ratio traded:   %.4f (%.2f%%)\n", tr.DeltaHR, 100*tr.DeltaHR)
-	fmt.Fprintf(w, "equivalent hit:     %.4f\n", tr.NewHR)
+	var b strings.Builder
+	fmt.Fprintf(&b, "feature:            %s\n", tr.Feature)
+	fmt.Fprintf(&b, "design point:       L=%g D=%g beta_m=%g alpha=%g\n", l, d, beta, alpha)
+	fmt.Fprintf(&b, "miss-count ratio r: %.4f\n", tr.R)
+	fmt.Fprintf(&b, "base hit ratio:     %.4f (s = %.2f)\n", tr.BaseHR, tr.S)
+	fmt.Fprintf(&b, "hit ratio traded:   %.4f (%.2f%%)\n", tr.DeltaHR, 100*tr.DeltaHR)
+	fmt.Fprintf(&b, "equivalent hit:     %.4f\n", tr.NewHR)
 	if !tr.Valid {
-		fmt.Fprintln(w, "warning: HR2 <= 0 — outside the model's physical range (Eq. 6)")
+		fmt.Fprintln(&b, "warning: HR2 <= 0 — outside the model's physical range (Eq. 6)")
 	}
 	if spec.Feature == core.FeaturePipelinedMemory {
 		if x, err := core.PipelineCrossover(q, l, d); err == nil {
-			fmt.Fprintf(w, "crossover vs bus:   beta_m >= %.2f\n", x)
+			fmt.Fprintf(&b, "crossover vs bus:   beta_m >= %.2f\n", x)
 		}
 	}
-	return nil
+	_, err = io.WriteString(w, b.String())
+	return err
 }
 
 func parseFeature(name string, phi, q float64) (core.FeatureSpec, error) {

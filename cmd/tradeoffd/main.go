@@ -62,6 +62,7 @@ func run(addr string, workers, entries int, drain time.Duration) error {
 	defer stop()
 
 	errc := make(chan error, 1)
+	//lint:ignore ctxflow the listener's lifetime is managed by srv.Shutdown below, not by ctx
 	go func() {
 		log.Printf("tradeoffd: listening on %s", addr)
 		errc <- srv.ListenAndServe()
@@ -74,6 +75,7 @@ func run(addr string, workers, entries int, drain time.Duration) error {
 	}
 
 	log.Printf("tradeoffd: shutting down (drain %s)", drain)
+	//lint:ignore ctxflow the signal context is already canceled during drain; the timeout needs a fresh parent
 	drainCtx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	if err := srv.Shutdown(drainCtx); err != nil {

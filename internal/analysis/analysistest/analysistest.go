@@ -1,0 +1,106 @@
+// Package analysistest runs a lint.Analyzer over a golden fixture tree
+// and checks its findings against expectations written in the fixtures
+// themselves, mirroring x/tools' analysistest convention:
+//
+//	bad := a == b // want `float64 equality`
+//
+// Each back-quoted or double-quoted string after "want" is a regular
+// expression that must match a finding reported on that line; findings
+// with no matching expectation, and expectations with no matching
+// finding, both fail the test.
+package analysistest
+
+import (
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"tradeoff/internal/analysis/lint"
+	"tradeoff/internal/analysis/load"
+)
+
+var wantRE = regexp.MustCompile("// want ((?:(?:\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`)\\s*)+)$")
+var wantArgRE = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+// expectation is one "want" pattern at a file line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// Run loads each fixture package from root/src and applies the
+// analyzer, comparing findings to the // want comments.
+func Run(t *testing.T, root string, a *lint.Analyzer, paths ...string) {
+	t.Helper()
+	for _, path := range paths {
+		pkg, err := load.Fixture(root, path)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", path, err)
+		}
+		findings, err := lint.Run(pkg, []*lint.Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, path, err)
+		}
+		expectations := collectWants(t, pkg.Fset, pkg)
+		for _, f := range findings {
+			if !claim(expectations, f) {
+				t.Errorf("unexpected finding: %s", f)
+			}
+		}
+		for _, e := range expectations {
+			if !e.hit {
+				t.Errorf("%s:%d: expected finding matching %q, got none", e.file, e.line, e.re)
+			}
+		}
+	}
+}
+
+// claim marks the first unmatched expectation on the finding's line
+// whose pattern matches, and reports whether one was found.
+func claim(exps []*expectation, f lint.Finding) bool {
+	for _, e := range exps {
+		if !e.hit && e.file == f.Pos.Filename && e.line == f.Pos.Line && e.re.MatchString(f.Message) {
+			e.hit = true
+			return true
+		}
+	}
+	return false
+}
+
+func collectWants(t *testing.T, fset *token.FileSet, pkg *load.Package) []*expectation {
+	t.Helper()
+	var exps []*expectation
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, arg := range wantArgRE.FindAllString(m[1], -1) {
+					pattern := arg
+					if strings.HasPrefix(arg, "`") {
+						pattern = strings.Trim(arg, "`")
+					} else {
+						var err error
+						pattern, err = strconv.Unquote(arg)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, arg, err)
+						}
+					}
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pattern, err)
+					}
+					exps = append(exps, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return exps
+}

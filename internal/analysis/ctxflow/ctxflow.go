@@ -1,0 +1,156 @@
+// Package ctxflow enforces context propagation through the concurrent
+// subsystems (the internal/sweep worker pool and the internal/service
+// handlers): a request's context must reach every goroutine working on
+// its behalf, or cancellation — a disconnected client, a SIGTERM drain
+// — silently stops propagating and workers leak.
+//
+// Two patterns are flagged wherever a context.Context is already in
+// scope:
+//
+//  1. a `go` statement whose spawned function neither receives a
+//     context argument nor captures an in-scope context variable, and
+//  2. a call to context.Background() or context.TODO(), which forks a
+//     fresh, uncancellable context instead of threading the caller's.
+//
+// Functions with no context in scope are never flagged, so purely
+// synchronous helpers and CLIs that have not adopted contexts stay
+// quiet.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"tradeoff/internal/analysis/lint"
+	"tradeoff/internal/analysis/typeutil"
+)
+
+// Analyzer is the ctxflow check.
+var Analyzer = &lint.Analyzer{
+	Name: "ctxflow",
+	Doc:  "flags goroutines and context.Background()/TODO() calls that drop an in-scope context.Context instead of propagating it",
+	Run:  run,
+}
+
+// ctxVar is one in-scope context.Context: the defining object plus the
+// position after which it is usable (its declaration's end).
+type ctxVar struct {
+	obj   types.Object
+	ready token.Pos
+}
+
+func run(pass *lint.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				checkFunc(pass, fn.Type, fn.Body, nil)
+			}
+		}
+	}
+	return nil
+}
+
+// checkFunc walks one function body with the contexts inherited from
+// enclosing functions, recursing into nested literals.
+func checkFunc(pass *lint.Pass, ftype *ast.FuncType, body *ast.BlockStmt, inherited []ctxVar) {
+	ctxs := append([]ctxVar(nil), inherited...)
+	if ftype.Params != nil {
+		for _, field := range ftype.Params.List {
+			for _, name := range field.Names {
+				if obj := pass.TypesInfo.Defs[name]; obj != nil && typeutil.IsContext(obj.Type()) {
+					ctxs = append(ctxs, ctxVar{obj: obj, ready: field.End()})
+				}
+			}
+		}
+	}
+	// Collect locally declared contexts first so a goroutine later in
+	// the body sees contexts declared anywhere before it.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // its params/locals belong to the nested walk
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					if obj := pass.TypesInfo.Defs[id]; obj != nil && typeutil.IsContext(obj.Type()) {
+						ctxs = append(ctxs, ctxVar{obj: obj, ready: n.End()})
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for _, id := range n.Names {
+				if obj := pass.TypesInfo.Defs[id]; obj != nil && typeutil.IsContext(obj.Type()) {
+					ctxs = append(ctxs, ctxVar{obj: obj, ready: n.End()})
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			checkFunc(pass, n.Type, n.Body, ctxs)
+			return false
+		case *ast.GoStmt:
+			if inScope(ctxs, n.Pos()) && !propagates(pass, n.Call, ctxs) {
+				pass.Reportf(n.Pos(), "goroutine drops the in-scope context.Context; pass it to the spawned function or capture it")
+			}
+			// The call's arguments and a spawned literal still need the
+			// Background/TODO walk; FuncLit recursion above handles the
+			// literal when Inspect descends.
+			return true
+		case *ast.CallExpr:
+			if fn := typeutil.Callee(pass.TypesInfo, n); fn != nil && fn.Pkg() != nil &&
+				fn.Pkg().Path() == "context" && (fn.Name() == "Background" || fn.Name() == "TODO") {
+				if inScope(ctxs, n.Pos()) {
+					pass.Reportf(n.Pos(), "context.%s() forks a fresh context while one is in scope; thread the caller's context instead", fn.Name())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// inScope reports whether any context is usable at pos.
+func inScope(ctxs []ctxVar, pos token.Pos) bool {
+	for _, c := range ctxs {
+		if c.ready <= pos {
+			return true
+		}
+	}
+	return false
+}
+
+// propagates reports whether the goroutine's call carries a context:
+// through an argument, through the called expression itself, or by
+// capturing an in-scope context variable inside a spawned literal.
+func propagates(pass *lint.Pass, call *ast.CallExpr, ctxs []ctxVar) bool {
+	for _, arg := range call.Args {
+		if typeutil.IsContext(pass.TypeOf(arg)) {
+			return true
+		}
+	}
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		captured := false
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && !captured {
+				if obj := pass.TypesInfo.Uses[id]; obj != nil {
+					for _, c := range ctxs {
+						if c.obj == obj {
+							captured = true
+						}
+					}
+				}
+			}
+			return !captured
+		})
+		return captured
+	}
+	// go method-value or bound call: a context receiver is enough.
+	if typeutil.IsContext(pass.TypeOf(call.Fun)) {
+		return true
+	}
+	return false
+}

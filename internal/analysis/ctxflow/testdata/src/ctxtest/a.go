@@ -1,0 +1,66 @@
+package ctxtest
+
+import (
+	"context"
+	"sync"
+)
+
+func work(ctx context.Context, i int) {}
+func compute(i int)                   {}
+
+func pool(ctx context.Context, jobs []int) {
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j int) { // want `goroutine drops the in-scope context.Context`
+			defer wg.Done()
+			compute(j)
+		}(j)
+	}
+	wg.Wait()
+}
+
+func poolOK(ctx context.Context, jobs []int) {
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			if ctx.Err() != nil { // captures ctx: fine
+				return
+			}
+			compute(j)
+		}(j)
+	}
+	wg.Wait()
+	go work(ctx, 0) // context passed as argument: fine
+}
+
+func noContextAnywhere(jobs []int) {
+	for _, j := range jobs {
+		go compute(j) // no context in scope: fine
+	}
+}
+
+func freshContext(ctx context.Context) {
+	sub := context.Background() // want `context.Background\(\) forks a fresh context`
+	work(sub, 0)
+	todo := context.TODO() // want `context.TODO\(\) forks a fresh context`
+	work(todo, 0)
+}
+
+func declaringIsFine() {
+	ctx := context.Background() // declares the first context: fine
+	work(ctx, 0)
+}
+
+func derivedIsFine(ctx context.Context) {
+	sub, cancel := context.WithCancel(ctx)
+	defer cancel()
+	go work(sub, 1)
+}
+
+func suppressed(ctx context.Context) {
+	//lint:ignore ctxflow listener lifetime is managed by Shutdown
+	go compute(1)
+}

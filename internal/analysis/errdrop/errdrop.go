@@ -1,0 +1,118 @@
+// Package errdrop flags call statements that silently discard an error
+// result. ROADMAP's production-service goal means every error in
+// internal/ and cmd/ is either handled or discarded *visibly* with an
+// explicit `_ =` assignment — an ExprStmt that drops one is review
+// noise today and a swallowed failure in production.
+//
+// Calls that cannot fail are not flagged:
+//   - fmt.Print/Printf/Println (process stdout),
+//   - fmt.Fprint*/io.WriteString to os.Stdout, os.Stderr, a
+//     strings.Builder, bytes.Buffer or bufio.Writer,
+//   - methods on strings.Builder and bytes.Buffer (their error results
+//     exist only to satisfy io interfaces and are documented nil),
+//   - Write* methods on bufio.Writer, whose sticky error surfaces at
+//     Flush — Flush itself is still flagged.
+//
+// Deferred calls (`defer f.Close()`) are deliberately out of scope.
+package errdrop
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"tradeoff/internal/analysis/lint"
+	"tradeoff/internal/analysis/typeutil"
+)
+
+// Analyzer is the errdrop check.
+var Analyzer = &lint.Analyzer{
+	Name: "errdrop",
+	Doc:  "flags statements that discard a returned error; handle it or discard it visibly with `_ =`",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sig, ok := pass.TypeOf(call.Fun).(*types.Signature)
+			if !ok || !typeutil.ReturnsError(sig) {
+				return true
+			}
+			if exempt(pass, call) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "%s returns an error that is discarded; handle it or assign to _ explicitly", calleeName(pass, call))
+			return true
+		})
+	}
+	return nil
+}
+
+// exempt reports whether the call's dropped error is documented to be
+// nil or otherwise out of errdrop's charter.
+func exempt(pass *lint.Pass, call *ast.CallExpr) bool {
+	fn := typeutil.Callee(pass.TypesInfo, call)
+	if fn == nil {
+		return false // calls through function values stay flagged
+	}
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Path()
+	}
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		if neverFailingWriter(recv.Type()) {
+			return true
+		}
+		if typeutil.IsNamed(recv.Type(), "bufio", "Writer") && strings.HasPrefix(fn.Name(), "Write") {
+			return true // sticky error; Flush is where it must be checked
+		}
+		return false
+	}
+	switch {
+	case pkg == "fmt" && (fn.Name() == "Print" || fn.Name() == "Printf" || fn.Name() == "Println"):
+		return true
+	case pkg == "fmt" && strings.HasPrefix(fn.Name(), "Fprint"),
+		pkg == "io" && fn.Name() == "WriteString":
+		return len(call.Args) > 0 && safeWriterArg(pass, call.Args[0])
+	}
+	return false
+}
+
+// safeWriterArg reports whether the io.Writer argument never fails:
+// process-standard streams and in-memory buffers.
+func safeWriterArg(pass *lint.Pass, arg ast.Expr) bool {
+	if sel, ok := ast.Unparen(arg).(*ast.SelectorExpr); ok {
+		if obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var); ok && obj.Pkg() != nil &&
+			obj.Pkg().Path() == "os" && (obj.Name() == "Stdout" || obj.Name() == "Stderr") {
+			return true
+		}
+	}
+	t := pass.TypeOf(arg)
+	return neverFailingWriter(t) || typeutil.IsNamed(t, "bufio", "Writer")
+}
+
+func neverFailingWriter(t types.Type) bool {
+	return typeutil.IsNamed(t, "strings", "Builder") || typeutil.IsNamed(t, "bytes", "Buffer")
+}
+
+func calleeName(pass *lint.Pass, call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if x, ok := fun.X.(*ast.Ident); ok {
+			return x.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	}
+	return "call"
+}

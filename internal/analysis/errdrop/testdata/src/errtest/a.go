@@ -1,0 +1,53 @@
+package errtest
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+func fail() error                    { return nil }
+func failPair() (int, error)         { return 0, nil }
+func ok() int                        { return 0 }
+func write(w io.Writer) (int, error) { return w.Write(nil) }
+
+func drops(w io.Writer) {
+	fail()                 // want `fail returns an error that is discarded`
+	failPair()             // want `failPair returns an error that is discarded`
+	fmt.Fprintf(w, "x")    // want `fmt.Fprintf returns an error that is discarded`
+	io.WriteString(w, "x") // want `io.WriteString returns an error that is discarded`
+	write(w)               // want `write returns an error that is discarded`
+	f, _ := os.Open("x")
+	f.Close() // want `f.Close returns an error that is discarded`
+}
+
+func allowed(bw *bufio.Writer) {
+	ok()
+	_ = fail()
+	_, _ = failPair()
+	if err := fail(); err != nil {
+		return
+	}
+	fmt.Println("stdout is fine")
+	fmt.Fprintln(os.Stderr, "stderr is fine")
+	var b strings.Builder
+	b.WriteString("in-memory builders never fail")
+	fmt.Fprintf(&b, "x")
+	var buf bytes.Buffer
+	buf.WriteByte('x')
+	fmt.Fprintf(&buf, "x")
+	bw.WriteString("sticky error surfaces at Flush")
+	fmt.Fprintf(bw, "x")
+}
+
+func flushMustBeChecked(bw *bufio.Writer) {
+	bw.Flush() // want `bw.Flush returns an error that is discarded`
+}
+
+func suppressed() {
+	//lint:ignore errdrop best-effort cleanup on shutdown
+	fail()
+}

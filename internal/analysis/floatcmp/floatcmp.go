@@ -1,0 +1,89 @@
+// Package floatcmp flags exact == and != comparisons between
+// floating-point model quantities. The methodology's equations produce
+// hit ratios, delays and miss-count ratios through chains of float64
+// arithmetic (Eqs. 1–9, 11–19), where exact equality is almost always a
+// latent bug: two mathematically equal delays differ in their last ulp.
+//
+// Allowed without complaint:
+//   - comparisons where either side is the constant 0 (sentinel checks
+//     such as `hr != 0` or `p.W == 0`),
+//   - comparisons where both sides are compile-time constants,
+//   - comparisons inside epsilon helpers themselves — functions whose
+//     name contains approx, almost, near, same or eps.
+//
+// Everything else should route through an epsilon helper (see
+// core.approxEqual) or be restructured.
+package floatcmp
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"regexp"
+
+	"tradeoff/internal/analysis/lint"
+	"tradeoff/internal/analysis/typeutil"
+)
+
+// Analyzer is the floatcmp check.
+var Analyzer = &lint.Analyzer{
+	Name: "floatcmp",
+	Doc:  "flags exact ==/!= between float64 model quantities (Eqs. 1–19 arithmetic); compare via an epsilon helper or against a 0 sentinel instead",
+	Run:  run,
+}
+
+// epsilonFunc matches the names of functions allowed to compare floats
+// exactly: the epsilon helpers and their tests.
+var epsilonFunc = regexp.MustCompile(`(?i)approx|almost|near|same|eps`)
+
+func run(pass *lint.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if epsilonFunc.MatchString(fn.Name.Name) {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				cmp, ok := n.(*ast.BinaryExpr)
+				if !ok || (cmp.Op != token.EQL && cmp.Op != token.NEQ) {
+					return true
+				}
+				if !typeutil.IsFloat(pass.TypeOf(cmp.X)) || !typeutil.IsFloat(pass.TypeOf(cmp.Y)) {
+					return true
+				}
+				xv := constValue(pass, cmp.X)
+				yv := constValue(pass, cmp.Y)
+				if xv != nil && yv != nil { // both constants: compile-time decidable
+					return true
+				}
+				if isZero(xv) || isZero(yv) { // sentinel against exactly 0
+					return true
+				}
+				pass.Reportf(cmp.OpPos, "exact float %s comparison on model quantities; use an epsilon helper or a 0 sentinel", cmp.Op)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func constValue(pass *lint.Pass, e ast.Expr) constant.Value {
+	if tv, ok := pass.TypesInfo.Types[e]; ok {
+		return tv.Value
+	}
+	return nil
+}
+
+func isZero(v constant.Value) bool {
+	if v == nil {
+		return false
+	}
+	switch v.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(v) == 0
+	}
+	return false
+}

@@ -1,0 +1,56 @@
+package floattest
+
+const tol = 1e-9
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// approxEqual is an epsilon helper: exact comparison is allowed here.
+func approxEqual(a, b float64) bool {
+	return abs(a-b) <= tol || a == b
+}
+
+func compare(hr, delay float64, n int) bool {
+	if hr == delay { // want `exact float == comparison`
+		return true
+	}
+	if hr != 0.95 { // want `exact float != comparison`
+		return false
+	}
+	if delay != 0 { // 0 sentinel: allowed
+		return false
+	}
+	if hr == 0.0 { // 0 sentinel spelled as a float literal: allowed
+		return true
+	}
+	const a, b = 0.1, 0.2
+	if a == b { // both constants: allowed
+		return true
+	}
+	if n == 3 { // integers: allowed
+		return false
+	}
+	return approxEqual(hr, delay)
+}
+
+func nested(xs []float64) int {
+	count := 0
+	for _, x := range xs {
+		check := func(y float64) bool {
+			return x == y // want `exact float == comparison`
+		}
+		if check(0.5) {
+			count++
+		}
+	}
+	return count
+}
+
+func suppressed(a, b float64) bool {
+	//lint:ignore floatcmp bit-exact golden comparison is intended here
+	return a == b
+}

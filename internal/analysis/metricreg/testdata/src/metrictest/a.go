@@ -1,0 +1,32 @@
+package metrictest
+
+import "expvar"
+
+var (
+	hits   = expvar.NewInt("cache_hits")
+	misses = expvar.NewInt("CacheMisses") // want `metric name "CacheMisses" is not snake_case`
+	dup    = expvar.NewInt("cache_hits")  // want `expvar metric "cache_hits" registered more than once`
+)
+
+func publish() {
+	expvar.Publish("in_flight", new(expvar.Int))
+	expvar.Publish("in_flight", new(expvar.Int))  // want `expvar metric "in_flight" registered more than once`
+	expvar.Publish("latency-us", new(expvar.Int)) // want `metric name "latency-us" is not snake_case`
+
+	m := new(expvar.Map).Init()
+	m.Set("requests_total", new(expvar.Int))
+	m.Set("requests_total", new(expvar.Int)) // Map.Set replaces, no panic: fine
+	m.Set("requests.total", new(expvar.Int)) // want `metric name "requests.total" is not snake_case`
+
+	name := dynamicName()
+	expvar.Publish(name, new(expvar.Int)) // non-constant: out of scope
+}
+
+func dynamicName() string { return "x" }
+
+func suppressed() {
+	//lint:ignore metricreg legacy dashboard consumes this exact name
+	expvar.Publish("Legacy-Name", new(expvar.Int))
+}
+
+var _, _, _ = hits, misses, dup

@@ -1,0 +1,309 @@
+// Package paramdomain enforces the paper's parameter domains at
+// construction sites. Eqs. (1)–(9) only hold for α ∈ [0, 1], βm ≥ 1,
+// L ≥ D > 0, φ ≥ 0 and positive instruction/traffic counts; a
+// core.Params (or sweep.Config / service profile) built outside those
+// domains produces numbers that look plausible and mean nothing.
+//
+// Two kinds of findings:
+//
+//  1. a composite literal or field write whose *constant* value lies
+//     outside the field's documented domain (α = 1.5, βm = 0, L < D,
+//     φ > L/D where all three are constants), and
+//  2. a function that builds a non-empty core.Params composite literal
+//     but contains no reachable domain check — no Params.Validate()
+//     call and no call to a validation helper (a callee whose name
+//     contains "valid") — so runtime values bypass the domain entirely.
+//
+// Constant checks run on every struct in the rules table; the
+// Validate-reachability rule applies only to core.Params, the type
+// whose Validate method is the model's single domain authority.
+package paramdomain
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"math"
+	"strings"
+
+	"tradeoff/internal/analysis/lint"
+	"tradeoff/internal/analysis/typeutil"
+)
+
+// Analyzer is the paramdomain check.
+var Analyzer = &lint.Analyzer{
+	Name: "paramdomain",
+	Doc:  "flags core.Params/sweep.Config constructions whose constant fields violate the paper's parameter domains (α ∈ [0,1], βm ≥ 1, L ≥ D > 0, …) and core.Params built without a reachable Validate() call",
+	Run:  run,
+}
+
+// A domain is one field's allowed interval. NaN bounds are open ends.
+type domain struct {
+	min, max         float64
+	minExcl, maxExcl bool
+}
+
+func (d domain) contains(v float64) bool {
+	if math.IsNaN(v) {
+		return false
+	}
+	if !math.IsNaN(d.min) {
+		if d.minExcl && v <= d.min {
+			return false
+		}
+		if v < d.min {
+			return false
+		}
+	}
+	if !math.IsNaN(d.max) {
+		if d.maxExcl && v >= d.max {
+			return false
+		}
+		if v > d.max {
+			return false
+		}
+	}
+	return true
+}
+
+func (d domain) String() string {
+	lo, hi := "(-inf", "+inf)"
+	if !math.IsNaN(d.min) {
+		if d.minExcl {
+			lo = fmt.Sprintf("(%g", d.min)
+		} else {
+			lo = fmt.Sprintf("[%g", d.min)
+		}
+	}
+	if !math.IsNaN(d.max) {
+		if d.maxExcl {
+			hi = fmt.Sprintf("%g)", d.max)
+		} else {
+			hi = fmt.Sprintf("%g]", d.max)
+		}
+	}
+	return lo + ", " + hi
+}
+
+var nan = math.NaN()
+
+func atLeast(v float64) domain       { return domain{min: v, max: nan} }
+func positive() domain               { return domain{min: 0, max: nan, minExcl: true} }
+func interval(lo, hi float64) domain { return domain{min: lo, max: hi} }
+
+// ruledStruct describes one struct whose fields carry domains.
+// pkgElem matches both the real import path's last element and the
+// short analysistest fixture path.
+type ruledStruct struct {
+	pkgElem, name string
+	fields        map[string]domain
+	// needsValidate marks the type whose construction requires a
+	// reachable Validate()/domain-check call in the same function.
+	needsValidate bool
+}
+
+// rules encodes Table 1's domains (core.Params), the sweep engine's
+// config domain (zero selects a default, so only negatives are
+// constant-wrong there), and the service's application profile.
+var rules = []*ruledStruct{
+	{
+		pkgElem: "core", name: "Params", needsValidate: true,
+		fields: map[string]domain{
+			"E":     positive(),
+			"R":     atLeast(0),
+			"W":     atLeast(0),
+			"Alpha": interval(0, 1),
+			"Phi":   atLeast(0),
+			"D":     positive(),
+			"L":     positive(),
+			"BetaM": atLeast(1),
+		},
+	},
+	{
+		pkgElem: "sweep", name: "Config",
+		fields: map[string]domain{
+			"LatencyNS":  atLeast(0),
+			"TransferNS": atLeast(0),
+			"CPUNS":      atLeast(0),
+			"Assoc":      atLeast(0),
+			"AddrBits":   interval(0, 128),
+			"CtrlPins":   atLeast(0),
+			"SimRefs":    atLeast(0),
+		},
+	},
+	{
+		pkgElem: "service", name: "ProfileRequest",
+		fields: map[string]domain{
+			"E": positive(),
+			"R": atLeast(0),
+			"W": atLeast(0),
+		},
+	},
+}
+
+func ruleFor(t types.Type) *ruledStruct {
+	for _, r := range rules {
+		if typeutil.IsNamedSuffix(t, r.pkgElem, r.name) {
+			return r
+		}
+	}
+	return nil
+}
+
+func run(pass *lint.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				checkLiteral(pass, n)
+			case *ast.AssignStmt:
+				checkFieldWrites(pass, n)
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkValidateReachable(pass, n)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkLiteral verifies every constant field of a ruled composite
+// literal, then the cross-field constraints L ≥ D and φ ≤ L/D when
+// enough fields are constant to decide them.
+func checkLiteral(pass *lint.Pass, lit *ast.CompositeLit) {
+	rule := ruleFor(pass.TypeOf(lit))
+	if rule == nil || len(lit.Elts) == 0 {
+		return
+	}
+	strct, ok := typeutil.Deref(types.Unalias(pass.TypeOf(lit))).Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	consts := map[string]float64{}
+	for i, elt := range lit.Elts {
+		name, value := "", ast.Expr(nil)
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			if id, ok := kv.Key.(*ast.Ident); ok {
+				name, value = id.Name, kv.Value
+			}
+		} else if i < strct.NumFields() {
+			name, value = strct.Field(i).Name(), elt
+		}
+		if name == "" || value == nil {
+			continue
+		}
+		v, isConst := constFloat(pass, value)
+		if !isConst {
+			continue
+		}
+		consts[name] = v
+		if d, ruled := rule.fields[name]; ruled && !d.contains(v) {
+			pass.Reportf(value.Pos(), "%s.%s = %g outside its domain %s", rule.name, name, v, d)
+		}
+	}
+	if rule.name == "Params" {
+		checkParamsCross(pass, lit.Pos(), consts)
+	}
+}
+
+// checkParamsCross enforces L ≥ D and φ ≤ L/D (Table 2's full-stall
+// ceiling) when the participating fields are all compile-time
+// constants in one literal.
+func checkParamsCross(pass *lint.Pass, pos token.Pos, consts map[string]float64) {
+	l, haveL := consts["L"]
+	d, haveD := consts["D"]
+	if haveL && haveD && d > 0 && l < d {
+		pass.Reportf(pos, "Params has L = %g smaller than D = %g; a line is fetched in whole bus transfers, so L ≥ D", l, d)
+	}
+	if phi, havePhi := consts["Phi"]; havePhi && haveL && haveD && d > 0 && l >= d && phi > l/d {
+		pass.Reportf(pos, "Params has φ = %g above the full-stall ceiling L/D = %g (Table 2)", phi, l/d)
+	}
+}
+
+// checkFieldWrites verifies constant assignments to ruled fields,
+// e.g. p.Alpha = 1.5.
+func checkFieldWrites(pass *lint.Pass, assign *ast.AssignStmt) {
+	if assign.Tok != token.ASSIGN || len(assign.Lhs) != len(assign.Rhs) {
+		return
+	}
+	for i, lhs := range assign.Lhs {
+		sel, ok := lhs.(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		rule := ruleFor(pass.TypeOf(sel.X))
+		if rule == nil {
+			continue
+		}
+		d, ruled := rule.fields[sel.Sel.Name]
+		if !ruled {
+			continue
+		}
+		if v, isConst := constFloat(pass, assign.Rhs[i]); isConst && !d.contains(v) {
+			pass.Reportf(assign.Rhs[i].Pos(), "%s.%s = %g outside its domain %s", rule.name, sel.Sel.Name, v, d)
+		}
+	}
+}
+
+// checkValidateReachable reports non-empty core.Params literals in
+// functions that never reach a domain check.
+func checkValidateReachable(pass *lint.Pass, fn *ast.FuncDecl) {
+	var lits []*ast.CompositeLit
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.CompositeLit); ok && len(lit.Elts) > 0 {
+			if rule := ruleFor(pass.TypeOf(lit)); rule != nil && rule.needsValidate {
+				lits = append(lits, lit)
+			}
+		}
+		return true
+	})
+	if len(lits) == 0 || hasDomainCheck(pass, fn.Body) {
+		return
+	}
+	for _, lit := range lits {
+		pass.Reportf(lit.Pos(), "core.Params built in %s with no reachable domain check; call Params.Validate before using it", fn.Name.Name)
+	}
+}
+
+// hasDomainCheck reports whether the body calls Params.Validate or any
+// validation helper — a callee whose name contains "valid" (Validate,
+// validFraction, validAlpha, …).
+func hasDomainCheck(pass *lint.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			found = isValidateName(fun.Name)
+		case *ast.SelectorExpr:
+			found = isValidateName(fun.Sel.Name)
+		}
+		return !found
+	})
+	return found
+}
+
+func isValidateName(name string) bool {
+	return strings.Contains(strings.ToLower(name), "valid")
+}
+
+// constFloat resolves e to a constant numeric value.
+func constFloat(pass *lint.Pass, e ast.Expr) (float64, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		v, _ := constant.Float64Val(constant.ToFloat(tv.Value))
+		return v, true
+	}
+	return 0, false
+}

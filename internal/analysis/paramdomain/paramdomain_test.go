@@ -1,0 +1,12 @@
+package paramdomain_test
+
+import (
+	"testing"
+
+	"tradeoff/internal/analysis/analysistest"
+	"tradeoff/internal/analysis/paramdomain"
+)
+
+func TestParamdomain(t *testing.T) {
+	analysistest.Run(t, "testdata", paramdomain.Analyzer, "paramtest")
+}

@@ -1,0 +1,23 @@
+// Package core is a fixture stand-in for tradeoff/internal/core: just
+// enough of Params and its Validate method for paramdomain to resolve.
+package core
+
+import "fmt"
+
+type Params struct {
+	E     float64
+	R     float64
+	W     float64
+	Alpha float64
+	Phi   float64
+	D     float64
+	L     float64
+	BetaM float64
+}
+
+func (p Params) Validate() error {
+	if p.Alpha < 0 || p.Alpha > 1 {
+		return fmt.Errorf("alpha")
+	}
+	return nil
+}

@@ -1,0 +1,15 @@
+// Package sweep is a fixture stand-in for tradeoff/internal/sweep.
+package sweep
+
+type Config struct {
+	CacheKB    []int
+	LineBytes  []int
+	BusBits    []int
+	Assoc      int
+	LatencyNS  float64
+	TransferNS float64
+	CPUNS      float64
+	AddrBits   int
+	CtrlPins   int
+	SimRefs    int
+}

@@ -1,0 +1,25 @@
+// Package suite enumerates the tradeoffvet analyzers. cmd/tradeoffvet
+// runs exactly this list; the meta-test in suite_test.go pins the
+// registration contract (unique lowercase names, mandatory docs) every
+// analyzer must honor for //lint:ignore directives and -list output to
+// stay unambiguous.
+package suite
+
+import (
+	"tradeoff/internal/analysis/ctxflow"
+	"tradeoff/internal/analysis/errdrop"
+	"tradeoff/internal/analysis/floatcmp"
+	"tradeoff/internal/analysis/lint"
+	"tradeoff/internal/analysis/metricreg"
+	"tradeoff/internal/analysis/paramdomain"
+)
+
+// Analyzers is the full tradeoffvet suite, in the order findings are
+// attributed when several fire on one line.
+var Analyzers = []*lint.Analyzer{
+	paramdomain.Analyzer,
+	floatcmp.Analyzer,
+	ctxflow.Analyzer,
+	errdrop.Analyzer,
+	metricreg.Analyzer,
+}

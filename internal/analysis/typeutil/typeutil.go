@@ -1,0 +1,87 @@
+// Package typeutil holds the small go/types helpers the analyzers
+// share: callee resolution and named-type matching that tolerates both
+// the real module paths (tradeoff/internal/core) and the short
+// fixture paths (core) used by the analysistest corpora.
+package typeutil
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Callee returns the *types.Func a call statically resolves to, or nil
+// for calls through function-typed variables, built-ins and
+// conversions.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// Deref returns the element type of a pointer, or t itself.
+func Deref(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// named returns t's underlying *types.Named after stripping pointers
+// and aliases, or nil.
+func named(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	n, _ := Deref(types.Unalias(t)).(*types.Named)
+	return n
+}
+
+// IsNamed reports whether t (or *t) is the named type pkgPath.name.
+func IsNamed(t types.Type, pkgPath, name string) bool {
+	n := named(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == pkgPath && n.Obj().Name() == name
+}
+
+// IsNamedSuffix reports whether t (or *t) is a named type called name
+// whose package path's last element is pkgElem — "core" matches both
+// tradeoff/internal/core and an analysistest fixture package "core".
+func IsNamedSuffix(t types.Type, pkgElem, name string) bool {
+	n := named(t)
+	if n == nil || n.Obj().Pkg() == nil || n.Obj().Name() != name {
+		return false
+	}
+	path := n.Obj().Pkg().Path()
+	return path == pkgElem || strings.HasSuffix(path, "/"+pkgElem)
+}
+
+// IsFloat reports whether t's core type is float32 or float64.
+func IsFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0 && b.Info()&types.IsComplex == 0
+}
+
+// IsContext reports whether t is context.Context.
+func IsContext(t types.Type) bool { return IsNamed(t, "context", "Context") }
+
+// ReturnsError reports whether sig has an error among its results.
+func ReturnsError(sig *types.Signature) bool {
+	for i := 0; i < sig.Results().Len(); i++ {
+		if types.Identical(sig.Results().At(i).Type(), types.Universe.Lookup("error").Type()) {
+			return true
+		}
+	}
+	return false
+}

@@ -77,7 +77,7 @@ func MissRatioOfCaches(spec FeatureSpec, alpha, l, d, betaM float64) (float64, e
 	if betaM < 1 {
 		return 0, fmt.Errorf("core: βm = %g, want >= 1", betaM)
 	}
-	if alpha < 0 || alpha > 1 {
+	if !validAlpha(alpha) {
 		return 0, fmt.Errorf("core: α = %g, want in [0, 1]", alpha)
 	}
 	base := perMissCost(l/d, alpha, l, d, betaM) // full-blocking baseline

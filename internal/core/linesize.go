@@ -89,7 +89,7 @@ func MeanDelayPerRef(hr, c, beta, l, d float64) float64 {
 // hr0 and hrI are the measured hit ratios of the two lines; flush
 // ratios are zero here to match Smith's delay criterion (Eq. 15/16).
 func ReducedDelay(hr0, hrI, c, beta, l0, li, d float64) (float64, error) {
-	if li == l0 {
+	if approxEqual(li, l0) {
 		return 0, nil
 	}
 	dEHR, err := DeltaEHR(hr0, 0, 0, c, beta, l0, li, d)

@@ -45,7 +45,7 @@ func MissRatioOfCachesMultiIssue(spec FeatureSpec, alpha, l, d, betaM, issue flo
 	if betaM < 1 {
 		return 0, fmt.Errorf("core: βm = %g, want >= 1", betaM)
 	}
-	if alpha < 0 || alpha > 1 {
+	if !validAlpha(alpha) {
 		return 0, fmt.Errorf("core: α = %g, want in [0, 1]", alpha)
 	}
 	hit := 1 / issue

@@ -49,7 +49,7 @@ func (p Params) Validate() error {
 		return fmt.Errorf("core: E = %g, want > 0", p.E)
 	case p.R < 0 || p.W < 0:
 		return fmt.Errorf("core: negative R (%g) or W (%g)", p.R, p.W)
-	case p.Alpha < 0 || p.Alpha > 1:
+	case !validAlpha(p.Alpha):
 		return fmt.Errorf("core: α = %g, want in [0, 1]", p.Alpha)
 	case p.D <= 0 || p.L <= 0:
 		return fmt.Errorf("core: non-positive D (%g) or L (%g)", p.D, p.L)
@@ -95,3 +95,21 @@ func HitRatioFromS(s float64) float64 { return s / (s + 1) }
 
 // validFraction reports whether v is a usable probability-like value.
 func validFraction(v float64) bool { return !math.IsNaN(v) && v > 0 && v < 1 }
+
+// validAlpha reports whether v lies in the closed unit interval — the
+// domain of the flush ratio α and of local hit ratios, where both
+// endpoints are physical (never-dirty and always-dirty caches).
+func validAlpha(v float64) bool { return !math.IsNaN(v) && v >= 0 && v <= 1 }
+
+// validHitRatio reports whether v is a usable cache hit ratio: a
+// fraction in (0, 1), or exactly zero (a cacheless or cold system).
+func validHitRatio(v float64) bool { return v == 0 || validFraction(v) }
+
+// approxEqual reports whether a and b agree to within one part in 1e12
+// (absolute near zero). It is the float discipline's alternative to
+// exact ==/!= between model quantities, which the floatcmp analyzer
+// rejects: two mathematically equal delays routinely differ in their
+// last ulp after Eqs. (1)–(19) arithmetic.
+func approxEqual(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-12*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}

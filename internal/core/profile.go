@@ -35,7 +35,7 @@ func (w WorkloadProfile) Validate() error {
 	switch {
 	case w.R < 0 || w.W < 0:
 		return fmt.Errorf("core: negative R (%g) or W (%g)", w.R, w.W)
-	case w.Alpha < 0 || w.Alpha > 1:
+	case !validAlpha(w.Alpha):
 		return fmt.Errorf("core: α = %g, want in [0, 1]", w.Alpha)
 	case w.L <= 0:
 		return fmt.Errorf("core: line size %g, want > 0", w.L)

@@ -18,10 +18,10 @@ import "fmt"
 // time (both in cycles), and HR2local is the L2 hit ratio over the L1
 // miss stream.
 func TwoLevelDelay(hr1, hr2local, tL2, tMem float64) (float64, error) {
-	if !validFraction(hr1) && hr1 != 0 {
+	if !validHitRatio(hr1) {
 		return 0, fmt.Errorf("core: L1 hit ratio %g", hr1)
 	}
-	if hr2local < 0 || hr2local > 1 {
+	if !validAlpha(hr2local) {
 		return 0, fmt.Errorf("core: local L2 hit ratio %g", hr2local)
 	}
 	if tL2 < 1 || tMem < tL2 {

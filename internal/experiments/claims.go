@@ -163,6 +163,7 @@ func Crossover(Options) ([]Artifact, error) {
 				t.AddRowf(n, q, "+Inf", note)
 				continue
 			}
+			//lint:ignore floatcmp n and q range over exact small integer literals
 			if n == 8 && q == 2 {
 				note = "the paper's 'about five or six clock cycles'"
 			}

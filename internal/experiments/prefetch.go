@@ -61,6 +61,9 @@ func Prefetch(o Options) ([]Artifact, error) {
 	// 5% miss ratio over ~30% of instructions being refs → R/L misses.
 	refsCount := 0.3 * base.E
 	base.R = 0.05 * refsCount * line
+	if err := base.Validate(); err != nil {
+		return nil, err
+	}
 	x0 := core.ExecutionTime(base)
 	for _, h := range []float64{0, 0.25, 0.5, 0.75} {
 		p := base

@@ -82,10 +82,10 @@ func (c Chart) Render() string {
 			ymin, ymax = math.Min(ymin, s.Y[i]), math.Max(ymax, s.Y[i])
 		}
 	}
-	if xmax == xmin {
+	if !(xmax > xmin) {
 		xmax = xmin + 1
 	}
-	if ymax == ymin {
+	if !(ymax > ymin) {
 		ymax = ymin + 1
 	}
 

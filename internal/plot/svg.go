@@ -53,10 +53,10 @@ func SVGChart(c Chart) string {
 			ymin, ymax = math.Min(ymin, s.Y[i]), math.Max(ymax, s.Y[i])
 		}
 	}
-	if xmax == xmin {
+	if !(xmax > xmin) {
 		xmax = xmin + 1
 	}
-	if ymax == ymin {
+	if !(ymax > ymin) {
 		ymax = ymin + 1
 	}
 	px := func(x float64) float64 {

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bytes"
 	"expvar"
 	"fmt"
 	"net/http"
@@ -94,12 +95,14 @@ func (m *metrics) serveHTTP(w http.ResponseWriter, r *http.Request) {
 		{"endpoints", &m.endpoints},
 	}
 	sort.Slice(vars, func(i, j int) bool { return vars[i].name < vars[j].name })
-	fmt.Fprintf(w, "{\n")
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "{\n")
 	for i, kv := range vars {
 		if i > 0 {
-			fmt.Fprintf(w, ",\n")
+			fmt.Fprintf(&buf, ",\n")
 		}
-		fmt.Fprintf(w, "%q: %s", kv.name, kv.v.String())
+		fmt.Fprintf(&buf, "%q: %s", kv.name, kv.v.String())
 	}
-	fmt.Fprintf(w, "\n}\n")
+	fmt.Fprintf(&buf, "\n}\n")
+	_, _ = w.Write(buf.Bytes()) // a failed write means the client left
 }

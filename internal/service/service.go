@@ -335,7 +335,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	io.WriteString(w, "ok\n")
+	_, _ = io.WriteString(w, "ok\n") // a failed write means the client left
 }
 
 // replayCached serves a memoized response if present, counting the
@@ -349,7 +349,7 @@ func (s *Server) replayCached(w http.ResponseWriter, key string) bool {
 	s.metrics.cacheHits.Add(1)
 	w.Header().Set("Content-Type", resp.contentType)
 	w.Header().Set("X-Cache", "hit")
-	w.Write(resp.body)
+	_, _ = w.Write(resp.body) // a failed write means the client left
 	return true
 }
 
@@ -358,7 +358,7 @@ func (s *Server) writeAndCache(w http.ResponseWriter, key, contentType string, b
 	s.cache.put(key, cachedResponse{contentType: contentType, body: body})
 	w.Header().Set("Content-Type", contentType)
 	w.Header().Set("X-Cache", "miss")
-	w.Write(body)
+	_, _ = w.Write(body) // a failed write means the client left
 }
 
 // decodeJSON decodes a bounded request body into v.
@@ -384,5 +384,5 @@ func mustJSON(v any) []byte {
 func httpError(w http.ResponseWriter, status int, msg string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg}) // best-effort error body
 }
