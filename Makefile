@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short race bench figures figures-fast report examples serve clean
+.PHONY: all build vet lint test test-short race bench bench-stall figures figures-fast report examples serve clean
 
 all: build lint test race
 
@@ -37,6 +37,12 @@ serve:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Smoke-run the trace-replay sweep benchmarks (serial vs parallel
+# simjob pool) with a single iteration; CI uses this to keep them
+# compiling and executable without paying for real measurement.
+bench-stall:
+	$(GO) test -run=NONE -bench='BenchmarkStallSweep' -benchtime=1x ./internal/simjob
 
 # Regenerate every paper artifact into out/ (full scale; minutes).
 figures:

@@ -10,19 +10,26 @@
 //	         [-trace file [-dinero]]
 //	         [-size 8192] [-line 32] [-assoc 2] [-write allocate|around]
 //	         [-feature FS|BL|BNL1|BNL2|BNL3|NB] [-beta 10] [-bus 4]
-//	         [-wbuf 0]
+//	         [-wbuf 0] [-workers 0]
+//
+// -feature also accepts a comma-separated list or "all"; the listed
+// features replay concurrently on a simjob worker pool (-workers) over
+// one shared trace and report as a comparison table.
 //
 // Trace files use cmd/tracegen's text format (instr addr size R|W), or
 // the classic Dinero format (label hex-address) with -dinero.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"tradeoff/internal/cache"
 	"tradeoff/internal/memory"
+	"tradeoff/internal/simjob"
 	"tradeoff/internal/stall"
 	"tradeoff/internal/trace"
 )
@@ -38,14 +45,15 @@ func main() {
 		line    = flag.Int("line", 32, "line size in bytes")
 		assoc   = flag.Int("assoc", 2, "associativity (0 = fully associative)")
 		write   = flag.String("write", "allocate", "write-miss policy: allocate or around")
-		feature = flag.String("feature", "", "stalling feature to measure (empty = profile only)")
+		feature = flag.String("feature", "", "stalling feature(s) to measure: one name, a comma list, or \"all\" (empty = profile only)")
 		beta    = flag.Int64("beta", 10, "memory cycle time per bus transfer")
 		bus     = flag.Int("bus", 4, "bus width in bytes")
 		wdepth  = flag.Int("wbuf", 0, "write buffer depth (0 = none)")
+		workers = flag.Int("workers", 0, "worker pool size for multi-feature replay (0 = all CPUs)")
 	)
 	flag.Parse()
 	if err := run(input{program: *program, traceFile: *tfile, dinero: *dinero},
-		*refs, *seed, *size, *line, *assoc, *write, *feature, *beta, *bus, *wdepth); err != nil {
+		*refs, *seed, *size, *line, *assoc, *write, *feature, *beta, *bus, *wdepth, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "cachesim:", err)
 		os.Exit(1)
 	}
@@ -95,7 +103,7 @@ func (in input) name() string {
 	return in.program
 }
 
-func run(in input, nrefs int, seed uint64, size, line, assoc int, write, feature string, beta int64, bus, wdepth int) error {
+func run(in input, nrefs int, seed uint64, size, line, assoc int, write, feature string, beta int64, bus, wdepth, workers int) error {
 	var wp cache.WriteMissPolicy
 	switch write {
 	case "allocate":
@@ -126,39 +134,62 @@ func run(in input, nrefs int, seed uint64, size, line, assoc int, write, feature
 		return nil
 	}
 
-	var feat stall.Feature
-	switch feature {
-	case "FS":
-		feat = stall.FS
-	case "BL":
-		feat = stall.BL
-	case "BNL1":
-		feat = stall.BNL1
-	case "BNL2":
-		feat = stall.BNL2
-	case "BNL3":
-		feat = stall.BNL3
-	case "NB":
-		feat = stall.NB
-	default:
-		return fmt.Errorf("unknown stalling feature %q", feature)
-	}
-	res, err := stall.Run(stall.Config{
-		Cache:            ccfg,
-		Memory:           memory.Config{BetaM: beta, BusWidth: bus},
-		Feature:          feat,
-		WriteBufferDepth: wdepth,
-	}, refs)
+	feats, err := parseFeatures(feature)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("input:        %s (%d refs, %d instructions)\n", in.name(), res.Refs, res.E)
-	fmt.Printf("feature:      %s, beta_m=%d, D=%d, write buffer depth %d\n", feat, beta, bus, wdepth)
-	fmt.Printf("cycles:       %d (base %d)\n", res.Cycles, res.BaseCycles)
-	fmt.Printf("fill stall:   %d cycles over %d misses\n", res.FillStall, res.Misses)
-	fmt.Printf("flush stall:  %d cycles (hidden: %d)\n", res.FlushStall, res.HiddenFlush)
-	fmt.Printf("write stall:  %d cycles, buffer-full %d, conflicts %d\n", res.WriteStall, res.BufferFull, res.Conflict)
-	fmt.Printf("phi:          %.3f (%.1f%% of L/D = %g)\n", res.Phi, 100*res.PhiFraction, float64(line)/float64(bus))
-	fmt.Printf("bus traffic:  %d bytes (%.2f B/ref)\n", res.Traffic, float64(res.Traffic)/float64(res.Refs))
+	cfgs := make([]stall.Config, len(feats))
+	for i, f := range feats {
+		cfgs[i] = stall.Config{
+			Cache:            ccfg,
+			Memory:           memory.Config{BetaM: beta, BusWidth: bus},
+			Feature:          f,
+			WriteBufferDepth: wdepth,
+		}
+	}
+	results, err := simjob.RunRefs(context.Background(), refs, cfgs, workers)
+	if err != nil {
+		return err
+	}
+
+	if len(feats) == 1 {
+		feat, res := feats[0], results[0]
+		fmt.Printf("input:        %s (%d refs, %d instructions)\n", in.name(), res.Refs, res.E)
+		fmt.Printf("feature:      %s, beta_m=%d, D=%d, write buffer depth %d\n", feat, beta, bus, wdepth)
+		fmt.Printf("cycles:       %d (base %d)\n", res.Cycles, res.BaseCycles)
+		fmt.Printf("fill stall:   %d cycles over %d misses\n", res.FillStall, res.Misses)
+		fmt.Printf("flush stall:  %d cycles (hidden: %d)\n", res.FlushStall, res.HiddenFlush)
+		fmt.Printf("write stall:  %d cycles, buffer-full %d, conflicts %d\n", res.WriteStall, res.BufferFull, res.Conflict)
+		fmt.Printf("phi:          %.3f (%.1f%% of L/D = %g)\n", res.Phi, 100*res.PhiFraction, float64(line)/float64(bus))
+		fmt.Printf("bus traffic:  %d bytes (%.2f B/ref)\n", res.Traffic, float64(res.Traffic)/float64(res.Refs))
+		return nil
+	}
+
+	fmt.Printf("input:    %s (%d refs, %d instructions)\n", in.name(), results[0].Refs, results[0].E)
+	fmt.Printf("config:   beta_m=%d, D=%d, write buffer depth %d, L/D=%g\n", beta, bus, wdepth, float64(line)/float64(bus))
+	fmt.Printf("%-6s %12s %12s %10s %12s %8s %8s\n",
+		"feat", "cycles", "fill_stall", "bus_wait", "misses", "phi", "phi%")
+	for i, f := range feats {
+		res := results[i]
+		fmt.Printf("%-6s %12d %12d %10d %12d %8.3f %7.1f%%\n",
+			f, res.Cycles, res.FillStall, res.BusWait, res.Misses, res.Phi, 100*res.PhiFraction)
+	}
 	return nil
+}
+
+// parseFeatures expands the -feature argument: one name, a comma-
+// separated list, or "all" for every Table 2 feature.
+func parseFeatures(arg string) ([]stall.Feature, error) {
+	if arg == "all" {
+		return stall.Features(), nil
+	}
+	var feats []stall.Feature
+	for _, name := range strings.Split(arg, ",") {
+		f, err := stall.ParseFeature(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		feats = append(feats, f)
+	}
+	return feats, nil
 }

@@ -6,30 +6,30 @@ import (
 )
 
 func TestRunProfileMode(t *testing.T) {
-	if err := run(input{program: "swm256"}, 20000, 1, 8<<10, 32, 2, "allocate", "", 10, 4, 0); err != nil {
+	if err := run(input{program: "swm256"}, 20000, 1, 8<<10, 32, 2, "allocate", "", 10, 4, 0, 0); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunStallMode(t *testing.T) {
 	for _, f := range []string{"FS", "BL", "BNL1", "BNL2", "BNL3", "NB"} {
-		if err := run(input{program: "ear"}, 10000, 1, 8<<10, 32, 2, "around", f, 5, 4, 2); err != nil {
+		if err := run(input{program: "ear"}, 10000, 1, 8<<10, 32, 2, "around", f, 5, 4, 2, 0); err != nil {
 			t.Fatalf("%s: %v", f, err)
 		}
 	}
 }
 
 func TestRunRejectsBadInputs(t *testing.T) {
-	if err := run(input{program: "nope"}, 100, 1, 8<<10, 32, 2, "allocate", "", 10, 4, 0); err == nil {
+	if err := run(input{program: "nope"}, 100, 1, 8<<10, 32, 2, "allocate", "", 10, 4, 0, 0); err == nil {
 		t.Fatal("unknown program accepted")
 	}
-	if err := run(input{program: "ear"}, 100, 1, 8<<10, 32, 2, "sideways", "", 10, 4, 0); err == nil {
+	if err := run(input{program: "ear"}, 100, 1, 8<<10, 32, 2, "sideways", "", 10, 4, 0, 0); err == nil {
 		t.Fatal("unknown write policy accepted")
 	}
-	if err := run(input{program: "ear"}, 100, 1, 8<<10, 32, 2, "allocate", "WARP", 10, 4, 0); err == nil {
+	if err := run(input{program: "ear"}, 100, 1, 8<<10, 32, 2, "allocate", "WARP", 10, 4, 0, 0); err == nil {
 		t.Fatal("unknown feature accepted")
 	}
-	if err := run(input{program: "ear"}, 100, 1, 999, 32, 2, "allocate", "", 10, 4, 0); err == nil {
+	if err := run(input{program: "ear"}, 100, 1, 999, 32, 2, "allocate", "", 10, 4, 0, 0); err == nil {
 		t.Fatal("invalid cache size accepted")
 	}
 }
@@ -40,20 +40,20 @@ func TestRunTraceFile(t *testing.T) {
 	if err := os.WriteFile(native, []byte("0 0x1000 4 R\n3 0x1020 4 W\n7 0x1000 4 R\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(input{traceFile: native}, 100, 1, 8<<10, 32, 2, "allocate", "", 10, 4, 0); err != nil {
+	if err := run(input{traceFile: native}, 100, 1, 8<<10, 32, 2, "allocate", "", 10, 4, 0, 0); err != nil {
 		t.Fatal(err)
 	}
 	din := dir + "/t.din"
 	if err := os.WriteFile(din, []byte("0 1000\n1 1004\n2 400\n0 2000\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(input{traceFile: din, dinero: true}, 100, 1, 8<<10, 32, 2, "allocate", "BNL3", 10, 4, 0); err != nil {
+	if err := run(input{traceFile: din, dinero: true}, 100, 1, 8<<10, 32, 2, "allocate", "BNL3", 10, 4, 0, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(input{traceFile: dir + "/missing"}, 100, 1, 8<<10, 32, 2, "allocate", "", 10, 4, 0); err == nil {
+	if err := run(input{traceFile: dir + "/missing"}, 100, 1, 8<<10, 32, 2, "allocate", "", 10, 4, 0, 0); err == nil {
 		t.Fatal("missing trace file accepted")
 	}
-	if err := run(input{traceFile: din}, 100, 1, 8<<10, 32, 2, "allocate", "", 10, 4, 0); err == nil {
+	if err := run(input{traceFile: din}, 100, 1, 8<<10, 32, 2, "allocate", "", 10, 4, 0, 0); err == nil {
 		t.Fatal("dinero file parsed as native format")
 	}
 }
@@ -70,5 +70,19 @@ func TestInputTruncatesToRefs(t *testing.T) {
 	}
 	if len(refs) != 2 {
 		t.Fatalf("loaded %d refs, want truncation to 2", len(refs))
+	}
+}
+
+func TestRunMultiFeature(t *testing.T) {
+	// A comma list and "all" replay every feature over one shared trace
+	// on the pool and render the comparison table.
+	if err := run(input{program: "ear"}, 5000, 1, 8<<10, 32, 2, "allocate", "FS,BNL3", 10, 4, 0, 2); err != nil {
+		t.Fatalf("feature list: %v", err)
+	}
+	if err := run(input{program: "ear"}, 5000, 1, 8<<10, 32, 2, "allocate", "all", 10, 4, 0, 0); err != nil {
+		t.Fatalf("feature all: %v", err)
+	}
+	if err := run(input{program: "ear"}, 100, 1, 8<<10, 32, 2, "allocate", "FS,WARP", 10, 4, 0, 0); err == nil {
+		t.Fatal("bad feature in list accepted")
 	}
 }

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	figures [-out dir] [-experiment name] [-fast] [-seed n] [-print]
+//	figures [-out dir] [-experiment name] [-fast] [-seed n] [-workers 0] [-print]
 //
 // Experiments are named after the paper artifact they reproduce
 // (table2, table3, figure1 ... figure6, example1, ranking, crossover,
@@ -22,14 +22,15 @@ import (
 
 func main() {
 	var (
-		out   = flag.String("out", "out", "output directory for .txt and .csv artifacts")
-		name  = flag.String("experiment", "all", "experiment to run (see DESIGN.md §3), or 'all'")
-		fast  = flag.Bool("fast", false, "smaller traces and sparser sweeps")
-		seed  = flag.Uint64("seed", 0, "trace seed (0 = package default)")
-		print = flag.Bool("print", true, "print rendered artifacts to stdout")
-		list  = flag.Bool("list", false, "list experiments and exit")
-		svg   = flag.Bool("svg", true, "also write .svg renderings of charts")
-		html  = flag.Bool("html", true, "also write an index.html artifact browser")
+		out     = flag.String("out", "out", "output directory for .txt and .csv artifacts")
+		name    = flag.String("experiment", "all", "experiment to run (see DESIGN.md §3), or 'all'")
+		fast    = flag.Bool("fast", false, "smaller traces and sparser sweeps")
+		seed    = flag.Uint64("seed", 0, "trace seed (0 = package default)")
+		workers = flag.Int("workers", 0, "trace-replay worker pool size per measurement (0 = all CPUs)")
+		print   = flag.Bool("print", true, "print rendered artifacts to stdout")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		svg     = flag.Bool("svg", true, "also write .svg renderings of charts")
+		html    = flag.Bool("html", true, "also write an index.html artifact browser")
 	)
 	flag.Parse()
 
@@ -40,7 +41,7 @@ func main() {
 		return
 	}
 	opts := outputs{dir: *out, print: *print, svg: *svg, html: *html}
-	if err := run(opts, *name, experiments.Options{Fast: *fast, Seed: *seed}); err != nil {
+	if err := run(opts, *name, experiments.Options{Fast: *fast, Seed: *seed, Workers: *workers}); err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(1)
 	}

@@ -1,24 +1,27 @@
 // Command tradeoffd serves the unified tradeoff methodology over
 // HTTP: single-point feature pricing (POST /v1/tradeoff), full
-// design-space sweeps (POST /v1/sweep, JSON or CSV), a liveness probe
+// design-space sweeps (POST /v1/sweep, JSON or CSV), trace-driven
+// stall sweeps (POST /v1/stall, JSON or CSV), a liveness probe
 // (GET /healthz) and expvar counters (GET /metrics).
 //
 // Usage:
 //
 //	tradeoffd [-addr :8080] [-workers 0] [-cache 256] [-drain 10s]
 //
-// Sweeps run on the shared internal/sweep worker pool; identical
-// requests are answered from a size-bounded LRU. SIGINT/SIGTERM
-// triggers a graceful shutdown: the listener closes immediately,
-// in-flight requests get the drain timeout to finish, and a client
-// that disconnects mid-sweep cancels its sweep workers via the
-// request context.
+// Sweeps run on the shared internal/sweep worker pool and stall grids
+// on the internal/simjob replay pool, which materializes each workload
+// trace once and shares it across requests; identical requests are
+// answered from a size-bounded LRU. SIGINT/SIGTERM triggers a graceful
+// shutdown: the listener closes immediately, in-flight requests get
+// the drain timeout to finish, and a client that disconnects mid-sweep
+// cancels its workers via the request context.
 //
 // Examples:
 //
 //	curl -s localhost:8080/healthz
 //	curl -s -X POST localhost:8080/v1/tradeoff -d '{"feature":"bus","hit_ratio":0.95}'
 //	go run ./cmd/sweep -example | curl -s -X POST localhost:8080/v1/sweep?format=csv -d @-
+//	curl -s -X POST 'localhost:8080/v1/stall?format=csv' -d '{"programs":["nasa7"],"beta_m":[4,10]}'
 package main
 
 import (

@@ -106,7 +106,7 @@ func AblationFillOrder(o Options) ([]Artifact, error) {
 				Memory:  memory.Config{BetaM: b, BusWidth: 4, Order: order},
 				Feature: stall.BNL3,
 			}
-			_, avg, err := stall.AverageOverPrograms(cfg, trace.Programs(), o.refsPerProgram(), o.seed())
+			_, avg, err := averagePrograms(cfg, o.refsPerProgram(), o.seed(), o.Workers)
 			if err != nil {
 				return nil, err
 			}
@@ -196,11 +196,11 @@ func PipelinedSim(o Options) ([]Artifact, error) {
 		}
 		flat := pipe
 		flat.Memory = memory.Config{BetaM: b, BusWidth: 4}
-		_, avgP, err := stall.AverageOverPrograms(pipe, trace.Programs(), o.refsPerProgram(), o.seed())
+		_, avgP, err := averagePrograms(pipe, o.refsPerProgram(), o.seed(), o.Workers)
 		if err != nil {
 			return nil, err
 		}
-		_, avgF, err := stall.AverageOverPrograms(flat, trace.Programs(), o.refsPerProgram(), o.seed())
+		_, avgF, err := averagePrograms(flat, o.refsPerProgram(), o.seed(), o.Workers)
 		if err != nil {
 			return nil, err
 		}

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"tradeoff/internal/cache"
 	"tradeoff/internal/memory"
 	"tradeoff/internal/plot"
+	"tradeoff/internal/simjob"
 	"tradeoff/internal/stall"
 	"tradeoff/internal/stats"
 	"tradeoff/internal/trace"
@@ -29,7 +31,8 @@ func fig1Betas(o Options) []int64 {
 // one memory cycle time across the six SPEC92-like programs, with the
 // Figure 1 cache geometry at the given line size. It is reused by the
 // unified-comparison figures, which plot the BNL curves with "the
-// average stalling factor obtained from the simulations" (§5.3).
+// average stalling factor obtained from the simulations" (§5.3). The
+// six replays run concurrently on the shared simjob pool.
 func MeasurePhi(feature stall.Feature, betaM int64, lineSize int, o Options) (float64, error) {
 	cc := fig1Cache()
 	cc.LineSize = lineSize
@@ -38,7 +41,7 @@ func MeasurePhi(feature stall.Feature, betaM int64, lineSize int, o Options) (fl
 		Memory:  memory.Config{BetaM: betaM, BusWidth: 4},
 		Feature: feature,
 	}
-	_, avg, err := stall.AverageOverPrograms(cfg, trace.Programs(), o.refsPerProgram(), o.seed())
+	_, avg, err := averagePrograms(cfg, o.refsPerProgram(), o.seed(), o.Workers)
 	if err != nil {
 		return 0, err
 	}
@@ -53,6 +56,33 @@ func MeasurePhi(feature stall.Feature, betaM int64, lineSize int, o Options) (fl
 // hides.
 func Figure1(o Options) ([]Artifact, error) {
 	betas := fig1Betas(o)
+	features := stall.PartialFeatures()
+	programs := trace.Programs()
+
+	// One flat job list — feature outermost, βm, program innermost —
+	// so every (feature, βm, program) replay of the figure runs
+	// concurrently on the shared pool instead of serially per curve
+	// point. Slot-indexed results come back in exactly this order.
+	jobs := make([]simjob.Job, 0, len(features)*len(betas)*len(programs))
+	for _, f := range features {
+		for _, b := range betas {
+			for _, name := range programs {
+				jobs = append(jobs, simjob.Job{
+					Trace: simjob.TraceSpec{Program: name, Seed: o.seed(), Refs: o.refsPerProgram()},
+					Cfg: stall.Config{
+						Cache:   fig1Cache(),
+						Memory:  memory.Config{BetaM: b, BusWidth: 4},
+						Feature: f,
+					},
+				})
+			}
+		}
+	}
+	results, err := simRunner.Run(context.Background(), jobs, simjob.Options{Workers: o.Workers})
+	if err != nil {
+		return nil, fmt.Errorf("figure1: %w", err)
+	}
+
 	chart := plot.Chart{
 		Title:  "Figure 1: Stalling Factor (avg of six SPEC92 models, 8KB 2-way write-allocate, L=32, D=4)",
 		XLabel: "memory cycle time per 4 bytes",
@@ -62,24 +92,19 @@ func Figure1(o Options) ([]Artifact, error) {
 		Title:   "Figure 1 per-program spread of the stalling factor (% of L/D)",
 		Columns: []string{"feature", "betaM", "mean", "stddev", "min", "max"},
 	}
-	for _, f := range stall.PartialFeatures() {
+	next := 0
+	for _, f := range features {
 		s := plot.Series{Name: f.String()}
 		for _, b := range betas {
-			cc := fig1Cache()
-			cfg := stall.Config{
-				Cache:   cc,
-				Memory:  memory.Config{BetaM: b, BusWidth: 4},
-				Feature: f,
-			}
-			per, avg, err := stall.AverageOverPrograms(cfg, trace.Programs(), o.refsPerProgram(), o.seed())
-			if err != nil {
-				return nil, fmt.Errorf("figure1: %v at βm=%d: %w", f, b, err)
-			}
+			per, avg := stall.AverageResults(programs, results[next:next+len(programs)])
+			next += len(programs)
 			s.X = append(s.X, float64(b))
 			s.Y = append(s.Y, 100*avg.PhiFraction)
+			// Summarize in program order, so the spread statistics are
+			// bit-stable run to run (map iteration is not).
 			fracs := make([]float64, 0, len(per))
-			for _, r := range per {
-				fracs = append(fracs, 100*r.PhiFraction)
+			for _, name := range programs {
+				fracs = append(fracs, 100*per[name].PhiFraction)
 			}
 			sum, err := stats.Summarize(fracs)
 			if err != nil {

@@ -5,7 +5,6 @@ import (
 	"tradeoff/internal/plot"
 	"tradeoff/internal/stall"
 	"tradeoff/internal/stats"
-	"tradeoff/internal/trace"
 )
 
 // Seeds (E29) checks that the simulation-backed results are stable
@@ -31,7 +30,7 @@ func Seeds(o Options) ([]Artifact, error) {
 				Memory:  memory.Config{BetaM: b, BusWidth: 4},
 				Feature: stall.BNL3,
 			}
-			_, avg, err := stall.AverageOverPrograms(cfg, trace.Programs(), o.refsPerProgram(), seed)
+			_, avg, err := averagePrograms(cfg, o.refsPerProgram(), seed, o.Workers)
 			if err != nil {
 				return nil, err
 			}

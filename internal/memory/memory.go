@@ -148,7 +148,7 @@ func (m *Model) NewFill(start int64, lineIndex uint64, lineSize, criticalChunk i
 		Start:     start,
 		Line:      lineIndex,
 		chunks:    n,
-		critical:  criticalChunk % n,
+		critical:  wrapChunk(criticalChunk, n),
 		betaM:     m.cfg.BetaM,
 		q:         m.cfg.Q,
 		pipelined: m.cfg.Pipelined,
@@ -174,9 +174,12 @@ func (f Fill) Complete() int64 { return f.arrivalByOrder(f.chunks - 1) }
 func (f Fill) CriticalReady() int64 { return f.ChunkReady(f.critical) }
 
 // ChunkReady returns the cycle at which chunk index c (within the
-// line) arrives, under the fill's delivery order.
+// line) arrives, under the fill's delivery order. Out-of-range input
+// — including a negative index from a sign-truncated address offset on
+// a 32-bit platform — is wrapped into the line, so the result is never
+// earlier than the first chunk's arrival.
 func (f Fill) ChunkReady(c int) int64 {
-	c %= f.chunks
+	c = wrapChunk(c, f.chunks)
 	if f.order == Sequential {
 		return f.arrivalByOrder(c)
 	}
@@ -185,6 +188,17 @@ func (f Fill) ChunkReady(c int) int64 {
 		order += f.chunks
 	}
 	return f.arrivalByOrder(order)
+}
+
+// wrapChunk reduces a chunk index into [0, chunks), mapping negative
+// input (Go's % keeps the dividend's sign) into the line instead of
+// letting it produce an arrival time before the fill started.
+func wrapChunk(c, chunks int) int {
+	c %= chunks
+	if c < 0 {
+		c += chunks
+	}
+	return c
 }
 
 // ByteReady returns the cycle at which the byte at offsetInLine is

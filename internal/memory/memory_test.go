@@ -249,3 +249,36 @@ func TestFillOrderString(t *testing.T) {
 		t.Fatal("unknown FillOrder String wrong")
 	}
 }
+
+func TestChunkReadyWrapsNegativeInput(t *testing.T) {
+	// Regression: a sign-truncated line offset (int(addr) on a 32-bit
+	// platform for addresses >= 2^31) can hand ChunkReady a negative
+	// chunk index. It must wrap into the line — never yielding an
+	// arrival at or before the fill's start — and agree with the
+	// congruent non-negative index under both delivery orders.
+	for _, order := range []FillOrder{RequestedFirst, Sequential} {
+		m := MustNew(Config{BetaM: 10, BusWidth: 4, Order: order})
+		f := m.NewFill(100, 0, 32, 2)
+		for c := -16; c < 16; c++ {
+			pos := ((c % 8) + 8) % 8
+			if got, want := f.ChunkReady(c), f.ChunkReady(pos); got != want {
+				t.Fatalf("%v: ChunkReady(%d) = %d, want ChunkReady(%d) = %d", order, c, got, pos, want)
+			}
+			if got := f.ChunkReady(c); got <= f.Start {
+				t.Fatalf("%v: ChunkReady(%d) = %d, at or before fill start %d", order, c, got, f.Start)
+			}
+		}
+	}
+}
+
+func TestNewFillNegativeCriticalChunk(t *testing.T) {
+	// A negative critical chunk (same truncation source) must schedule
+	// like its congruent in-line chunk.
+	m := MustNew(Config{BetaM: 10, BusWidth: 4})
+	neg := m.NewFill(0, 0, 32, -3)
+	pos := m.NewFill(0, 0, 32, 5)
+	if neg.CriticalReady() != pos.CriticalReady() || neg.Complete() != pos.Complete() {
+		t.Fatalf("critical -3 schedules unlike critical 5: %d/%d vs %d/%d",
+			neg.CriticalReady(), neg.Complete(), pos.CriticalReady(), pos.Complete())
+	}
+}

@@ -8,14 +8,19 @@
 //	                   miss-count/bus-width ratio r, Eq. 9 line-fill
 //	                   time, optional Eq. 2 execution time)
 //	POST /v1/sweep     full design-space sweep → JSON or CSV
+//	POST /v1/stall     trace-driven stall sweep: replay a workload
+//	                   grid and return each point's stall.Result
+//	                   decomposition → JSON or CSV
 //	GET  /healthz      liveness probe
 //	GET  /metrics      expvar counters: requests, errors, cache
 //	                   hits/misses, in-flight, per-endpoint latency
 //
-// Both POST endpoints are pure functions of their payloads, so
+// All POST endpoints are pure functions of their payloads, so
 // responses are memoized in a size-bounded LRU keyed by the
-// canonicalized request. Request contexts flow into the sweep worker
-// pool: a disconnected client cancels its in-flight sweep.
+// canonicalized request. Request contexts flow into the worker pools:
+// a disconnected client cancels its in-flight sweep or replay. The
+// server holds one simjob.Runner for its lifetime, so materialized
+// workload traces are shared across /v1/stall requests.
 package service
 
 import (
@@ -29,6 +34,7 @@ import (
 	"strings"
 
 	"tradeoff/internal/core"
+	"tradeoff/internal/simjob"
 	"tradeoff/internal/sweep"
 )
 
@@ -45,6 +51,9 @@ type Options struct {
 	// Limits bounds untrusted sweep payloads (zero value =
 	// sweep.DefaultLimits).
 	Limits sweep.Limits
+	// StallLimits bounds untrusted stall-grid payloads (zero value =
+	// simjob.DefaultLimits).
+	StallLimits simjob.Limits
 }
 
 // Server is the tradeoffd HTTP service: stateless handlers over the
@@ -54,6 +63,7 @@ type Server struct {
 	mux     *http.ServeMux
 	cache   *lruCache
 	metrics *metrics
+	runner  *simjob.Runner
 }
 
 // New builds a Server with its routes registered.
@@ -64,14 +74,19 @@ func New(opts Options) *Server {
 	if opts.Limits == (sweep.Limits{}) {
 		opts.Limits = sweep.DefaultLimits
 	}
+	if opts.StallLimits == (simjob.Limits{}) {
+		opts.StallLimits = simjob.DefaultLimits
+	}
 	s := &Server{
 		opts:    opts,
 		mux:     http.NewServeMux(),
 		cache:   newLRUCache(opts.CacheEntries),
 		metrics: newMetrics(),
+		runner:  simjob.NewRunner(),
 	}
 	s.mux.HandleFunc("/v1/tradeoff", s.metrics.instrument("/v1/tradeoff", s.handleTradeoff))
 	s.mux.HandleFunc("/v1/sweep", s.metrics.instrument("/v1/sweep", s.handleSweep))
+	s.mux.HandleFunc("/v1/stall", s.metrics.instrument("/v1/stall", s.handleStall))
 	s.mux.HandleFunc("/healthz", s.metrics.instrument("/healthz", s.handleHealthz))
 	s.mux.HandleFunc("/metrics", s.metrics.serveHTTP)
 	return s
@@ -306,6 +321,72 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := SweepResponse{Count: len(designs), ParetoCount: sweep.ParetoCount(designs), Designs: designs}
+	s.writeAndCache(w, key, "application/json", mustJSON(resp))
+}
+
+// StallResponse is the JSON shape of POST /v1/stall.
+type StallResponse struct {
+	Count  int                  `json:"count"`
+	Points []simjob.PointResult `json:"points"`
+}
+
+func (s *Server) handleStall(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	grid, err := simjob.ParseGrid(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := grid.CheckLimits(s.opts.StallLimits); err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	format, err := sweepFormat(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	canon, err := grid.Canonical()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	key := "stall|" + format + "|" + string(canon)
+	if s.replayCached(w, key) {
+		return
+	}
+
+	points, err := s.runner.RunGrid(r.Context(), grid, s.opts.Workers)
+	switch {
+	case errors.Is(err, r.Context().Err()) && r.Context().Err() != nil:
+		// Client went away; nobody is reading, don't poison counters
+		// with a 5xx nor cache a partial result.
+		httpError(w, statusClientClosedRequest, "request cancelled")
+		return
+	case err != nil:
+		httpError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+
+	if format == "csv" {
+		var buf bytes.Buffer
+		if err := simjob.WriteCSV(&buf, points); err != nil {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		s.writeAndCache(w, key, "text/csv; charset=utf-8", buf.Bytes())
+		return
+	}
+	resp := StallResponse{Count: len(points), Points: points}
 	s.writeAndCache(w, key, "application/json", mustJSON(resp))
 }
 

@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"tradeoff/internal/core"
+	"tradeoff/internal/simjob"
 	"tradeoff/internal/sweep"
 )
 
@@ -343,5 +344,132 @@ func TestLRUEviction(t *testing.T) {
 	}
 	if c.len() != 2 {
 		t.Fatalf("len = %d, want 2", c.len())
+	}
+}
+
+// stallTestGrid is a small /v1/stall payload: 1 program × 2 features ×
+// 2 βm = 4 points.
+const stallTestGrid = `{
+  "programs":   ["nasa7"],
+  "refs":       4000,
+  "features":   ["FS", "BNL3"],
+  "beta_m":     [4, 10]
+}`
+
+func TestStallEndpointMatchesEngine(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, body := post(t, ts.URL+"/v1/stall", stallTestGrid)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var got StallResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatalf("unmarshal: %v\n%s", err, body)
+	}
+	if got.Count != 4 || len(got.Points) != 4 {
+		t.Fatalf("count = %d, points = %d, want 4", got.Count, len(got.Points))
+	}
+	// The response must match what the engine measures directly, in
+	// enumeration order.
+	grid, err := simjob.ParseGrid([]byte(stallTestGrid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := simjob.NewRunner().RunGrid(context.Background(), grid, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got.Points[i] != want[i] {
+			t.Fatalf("point %d differs from direct engine run:\ngot  %+v\nwant %+v", i, got.Points[i], want[i])
+		}
+	}
+	// FS pins φ = L/D exactly; a violation means the endpoint wired the
+	// wrong decomposition through.
+	for _, p := range got.Points {
+		if p.Feature == "FS" && p.Result.PhiFraction != 1 {
+			t.Fatalf("FS point measured φ fraction %v, want exactly 1", p.Result.PhiFraction)
+		}
+	}
+}
+
+func TestStallCSV(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, body := post(t, ts.URL+"/v1/stall?format=csv", stallTestGrid)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/csv") {
+		t.Fatalf("content type %q, want text/csv", ct)
+	}
+	lines := strings.Split(strings.TrimSpace(string(body)), "\n")
+	if len(lines) != 5 { // header + 4 points
+		t.Fatalf("%d CSV lines, want 5:\n%s", len(lines), body)
+	}
+	if !strings.HasPrefix(lines[0], "program,feature,") || !strings.Contains(lines[0], ",bus_wait,") {
+		t.Fatalf("unexpected CSV header: %s", lines[0])
+	}
+}
+
+func TestStallMemoized(t *testing.T) {
+	s, ts := newTestServer(t)
+	resp, _ := post(t, ts.URL+"/v1/stall", stallTestGrid)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if resp.Header.Get("X-Cache") != "miss" {
+		t.Fatalf("first request X-Cache = %q, want miss", resp.Header.Get("X-Cache"))
+	}
+	before := s.CacheHits()
+	// Same grid, different field order, whitespace and spelled-out
+	// defaults: must hit.
+	reordered := `{"beta_m":[4,10],"features":["FS","BNL3"],
+		"refs":4000,"programs":["nasa7"],"seed":1994,"assoc":2,"write_miss":"allocate"}`
+	resp2, body2 := post(t, ts.URL+"/v1/stall", reordered)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp2.StatusCode, body2)
+	}
+	if resp2.Header.Get("X-Cache") != "hit" {
+		t.Fatalf("second request X-Cache = %q, want hit", resp2.Header.Get("X-Cache"))
+	}
+	if s.CacheHits() != before+1 {
+		t.Fatalf("cache hits %d, want %d", s.CacheHits(), before+1)
+	}
+}
+
+func TestStallRejects(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, tc := range []struct {
+		body   string
+		status int
+	}{
+		{`not json`, http.StatusBadRequest},
+		{`{"programs":["no-such"]}`, http.StatusBadRequest},
+		{`{"features":["XX"]}`, http.StatusBadRequest},
+		{`{"refs":999999999}`, http.StatusUnprocessableEntity},
+		{`{"cache_kb":[1048576]}`, http.StatusUnprocessableEntity},
+	} {
+		resp, body := post(t, ts.URL+"/v1/stall", tc.body)
+		if resp.StatusCode != tc.status {
+			t.Fatalf("%s: status %d, want %d (%s)", tc.body, resp.StatusCode, tc.status, body)
+		}
+	}
+	resp, _ := get(t, ts.URL+"/v1/stall")
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET status %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestStallClientDisconnectCancels(t *testing.T) {
+	// Drive the handler directly with an already-cancelled request
+	// context: the replay pool must abort and report 499, not 200.
+	s := New(Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest(http.MethodPost, "/v1/stall", strings.NewReader(stallTestGrid)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != statusClientClosedRequest {
+		t.Fatalf("cancelled stall run status %d, want %d", rec.Code, statusClientClosedRequest)
 	}
 }

@@ -1,0 +1,257 @@
+package simjob
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"tradeoff/internal/stall"
+	"tradeoff/internal/trace"
+)
+
+// testGrid is a small multi-dimension grid: 2 programs × 6 features ×
+// 2 βm = 24 points on one 8KiB/32B/4B geometry.
+func testGrid() Grid {
+	return Grid{
+		Programs: []string{"nasa7", "ear"},
+		Refs:     5_000,
+		Features: []string{"FS", "BL", "BNL1", "BNL2", "BNL3", "NB"},
+		BetaM:    []int64{4, 10},
+	}
+}
+
+// serialGrid replays the grid the pre-simjob way: one cold replay per
+// point, in enumeration order, no pool, no memoization.
+func serialGrid(t *testing.T, g Grid) []PointResult {
+	t.Helper()
+	g.SetDefaults()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	pts := g.Enumerate()
+	out := make([]PointResult, len(pts))
+	for i, p := range pts {
+		job, err := g.job(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs, err := job.Trace.Materialize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := stall.Run(job.Cfg, refs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = PointResult{Point: p, Result: res}
+	}
+	return out
+}
+
+// TestParallelMatchesSerialByteIdentical is the golden test of the
+// acceptance criteria: the pool's output, serialized both as JSON and
+// as CSV, must be byte-identical to a serial replay — for any worker
+// count.
+func TestParallelMatchesSerialByteIdentical(t *testing.T) {
+	g := testGrid()
+	want := serialGrid(t, g)
+	wantJSON, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantCSV bytes.Buffer
+	if err := WriteCSV(&wantCSV, want); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 3, 8} {
+		got, err := NewRunner().RunGrid(context.Background(), g, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotJSON, err := json.Marshal(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(gotJSON, wantJSON) {
+			t.Fatalf("workers=%d: parallel JSON differs from serial replay", workers)
+		}
+		var gotCSV bytes.Buffer
+		if err := WriteCSV(&gotCSV, got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(gotCSV.Bytes(), wantCSV.Bytes()) {
+			t.Fatalf("workers=%d: parallel CSV differs from serial replay", workers)
+		}
+	}
+}
+
+// TestTraceMemoized pins the tentpole's memoization contract: a grid
+// touching two programs materializes exactly two traces, however many
+// design points replay them, and a second grid on the same runner
+// re-materializes nothing.
+func TestTraceMemoized(t *testing.T) {
+	r := NewRunner()
+	g := testGrid()
+	if _, err := r.RunGrid(context.Background(), g, 8); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Traces().Generated(); got != 2 {
+		t.Fatalf("generated %d traces for a 2-program grid, want 2", got)
+	}
+	g.BetaM = []int64{6} // different design points, same traces
+	if _, err := r.RunGrid(context.Background(), g, 8); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Traces().Generated(); got != 2 {
+		t.Fatalf("second grid re-materialized traces: generated = %d, want 2", got)
+	}
+}
+
+// TestWarmDeterministic checks the warmed-cache path: results differ
+// from the cold replay (the warm state removes cold-start misses) but
+// are identical across runs and worker counts.
+func TestWarmDeterministic(t *testing.T) {
+	g := testGrid()
+	g.Warm = true
+
+	first, err := NewRunner().RunGrid(context.Background(), g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := NewRunner().RunGrid(context.Background(), g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range first {
+		if first[i] != again[i] {
+			t.Fatalf("warm replay not deterministic at point %d:\n%+v\n%+v", i, first[i], again[i])
+		}
+	}
+
+	cold := serialGrid(t, testGrid())
+	differs := false
+	for i := range first {
+		if first[i].Result.Misses != cold[i].Result.Misses {
+			differs = true
+			break
+		}
+	}
+	if !differs {
+		t.Fatal("warmed replay produced identical miss counts to cold replay on every point")
+	}
+}
+
+// TestRunCancellation checks a cancelled context stops the pool and
+// surfaces the context error.
+func TestRunCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := NewRunner().RunGrid(ctx, testGrid(), 4)
+	if err == nil {
+		t.Fatal("cancelled grid run returned no error")
+	}
+	if ctx.Err() == nil || err.Error() != ctx.Err().Error() {
+		t.Fatalf("err = %v, want %v", err, ctx.Err())
+	}
+}
+
+// TestRunBadJob checks a failing job cancels the pool and reports the
+// underlying error.
+func TestRunBadJob(t *testing.T) {
+	r := NewRunner()
+	jobs := []Job{{
+		Trace: TraceSpec{Program: "no-such-program", Seed: 1, Refs: 10},
+	}}
+	if _, err := r.Run(context.Background(), jobs, Options{Workers: 2}); err == nil {
+		t.Fatal("unknown program produced no error")
+	}
+}
+
+// TestRunRefsMatchesDirect checks the caller-supplied-trace path gives
+// exactly what stall.Run gives, in configuration order.
+func TestRunRefsMatchesDirect(t *testing.T) {
+	refs := trace.Collect(trace.MustProgram("doduc", 7), 4_000)
+	var cfgs []stall.Config
+	g := Grid{}
+	g.SetDefaults()
+	for _, p := range g.Enumerate()[:6] {
+		job, err := g.job(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfgs = append(cfgs, job.Cfg)
+	}
+	got, err := RunRefs(context.Background(), refs, cfgs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cfg := range cfgs {
+		want, err := stall.Run(cfg, refs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[i] != want {
+			t.Fatalf("cfg %d: pooled result differs from direct stall.Run:\n%+v\n%+v", i, got[i], want)
+		}
+	}
+}
+
+// TestParseGridRejectsBadInput spot-checks the domain validation the
+// service relies on.
+func TestParseGridRejectsBadInput(t *testing.T) {
+	bad := []string{
+		`{"programs": ["not-a-program"]}`,
+		`{"features": ["FSX"]}`,
+		`{"write_miss": "write-back"}`,
+		`{"refs": -1}`,
+		`{"wbuf_depths": [-2]}`,
+		`{"pipelined": true}`,
+		`not json`,
+	}
+	for _, in := range bad {
+		if _, err := ParseGrid([]byte(in)); err == nil {
+			t.Fatalf("ParseGrid(%s) accepted bad input", in)
+		}
+	}
+	if _, err := ParseGrid([]byte(ExampleGrid)); err != nil {
+		t.Fatalf("ParseGrid(ExampleGrid): %v", err)
+	}
+}
+
+// TestCheckLimits exercises the service's abuse bounds.
+func TestCheckLimits(t *testing.T) {
+	g := testGrid()
+	g.SetDefaults()
+	if err := g.CheckLimits(DefaultLimits); err != nil {
+		t.Fatalf("test grid exceeds default limits: %v", err)
+	}
+	if err := g.CheckLimits(Limits{MaxPoints: 3}); err == nil {
+		t.Fatal("24-point grid passed MaxPoints=3")
+	}
+	if err := g.CheckLimits(Limits{MaxRefs: 100}); err == nil {
+		t.Fatal("5000-ref grid passed MaxRefs=100")
+	}
+	if err := g.CheckLimits(Limits{MaxCacheKB: 4}); err == nil {
+		t.Fatal("8KiB grid passed MaxCacheKB=4")
+	}
+}
+
+// TestCanonicalStable checks the memoization key is insensitive to
+// spelled-out defaults.
+func TestCanonicalStable(t *testing.T) {
+	var implicit Grid
+	explicit := Grid{Refs: 30_000, Seed: 1994, Assoc: 2, WriteMiss: "allocate"}
+	a, err := implicit.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := explicit.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("canonical keys differ:\n%s\n%s", a, b)
+	}
+}

@@ -1,0 +1,77 @@
+package stall
+
+import (
+	"testing"
+
+	"tradeoff/internal/cache"
+	"tradeoff/internal/memory"
+	"tradeoff/internal/trace"
+)
+
+// FuzzReplayAccounting drives the replay engine over fuzzer-chosen
+// design points and traces, asserting the accounting invariants the
+// bugfixes restored: Cycles ≥ BaseCycles, φ ∈ [0, L/D], every stall
+// counter non-negative, and Cycles exactly equal to BaseCycles plus
+// the six stall terms.
+func FuzzReplayAccounting(f *testing.F) {
+	f.Add(uint64(1994), uint8(0), int64(10), uint8(0), uint8(1), uint8(3), uint8(0), uint16(2000))
+	f.Add(uint64(7), uint8(3), int64(2), uint8(2), uint8(2), uint8(1), uint8(4), uint16(500))
+	f.Add(uint64(123457), uint8(5), int64(50), uint8(3), uint8(3), uint8(4), uint8(2), uint16(3000))
+	f.Add(uint64(42), uint8(1), int64(1), uint8(1), uint8(0), uint8(0), uint8(1), uint16(1))
+	f.Fuzz(func(t *testing.T, seed uint64, featIdx uint8, betaM int64, busIdx, lineShift, sizeShift, wdepth uint8, nrefs uint16) {
+		features := Features()
+		feature := features[int(featIdx)%len(features)]
+		buses := []int{4, 8, 16, 32}
+		bus := buses[int(busIdx)%len(buses)]
+		line := 1 << (4 + int(lineShift)%4)  // 16..128 bytes
+		size := 1 << (10 + int(sizeShift)%5) // 1..16 KiB
+		if line < bus {
+			line = bus
+		}
+		betaM = 1 + (betaM%100+100)%100
+		cfg := Config{
+			Cache:            cache.Config{Size: size, LineSize: line, Assoc: 2, WriteMiss: cache.WriteAllocate, Replacement: cache.LRU},
+			Memory:           memory.Config{BetaM: betaM, BusWidth: bus},
+			Feature:          feature,
+			WriteBufferDepth: int(wdepth) % 9,
+			MSHRs:            int(seed % 5),
+		}
+		programs := trace.Programs()
+		src, err := trace.NewProgram(programs[int(seed)%len(programs)], seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(cfg, trace.Collect(src, int(nrefs)%5000))
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if res.Cycles < res.BaseCycles {
+			t.Fatalf("%v: Cycles %d < BaseCycles %d", feature, res.Cycles, res.BaseCycles)
+		}
+		if maxPhi := float64(line) / float64(bus); res.Phi < 0 || res.Phi > maxPhi {
+			t.Fatalf("%v: Phi %v outside [0, L/D=%v]", feature, res.Phi, maxPhi)
+		}
+		if res.PhiFraction < 0 || res.PhiFraction > 1 {
+			t.Fatalf("%v: PhiFraction %v outside [0, 1]", feature, res.PhiFraction)
+		}
+		for name, v := range map[string]int64{
+			"FillStall": res.FillStall, "BusWait": res.BusWait,
+			"FlushStall": res.FlushStall, "WriteStall": res.WriteStall,
+			"HiddenFlush": res.HiddenFlush, "BufferFull": res.BufferFull,
+			"Conflict": res.Conflict,
+		} {
+			if v < 0 {
+				t.Fatalf("%v: negative %s = %d", feature, name, v)
+			}
+		}
+		sum := res.BaseCycles + res.FillStall + res.BusWait + res.FlushStall +
+			res.WriteStall + res.BufferFull + res.Conflict
+		if res.Cycles != sum {
+			t.Fatalf("%v: Cycles %d != decomposition sum %d (%+v)", feature, res.Cycles, sum, res)
+		}
+		if res.Refs == 0 && res != (Result{}) {
+			t.Fatalf("%v: empty replay produced non-zero result %+v", feature, res)
+		}
+	})
+}

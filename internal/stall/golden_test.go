@@ -1,0 +1,46 @@
+package stall
+
+import (
+	"testing"
+
+	"tradeoff/internal/cache"
+	"tradeoff/internal/memory"
+	"tradeoff/internal/trace"
+)
+
+// TestGoldenDecomposition pins φ and the full Result decomposition of
+// every Table 2 feature on a fixed-seed nasa7 trace through the
+// Figure 1 geometry (8KB 2-way write-allocate, L=32, D=4, βm=10; NB
+// with 4 MSHRs). The values were produced by the engine after the
+// cycle-accounting fixes (bus-wait double count, empty-trace phantom
+// instruction, sign-truncated line offsets) and lock them in: any
+// change to replay arithmetic must either reproduce these numbers or
+// consciously re-pin them.
+func TestGoldenDecomposition(t *testing.T) {
+	want := map[Feature]Result{
+		FS:   {Refs: 20000, Misses: 7458, E: 59091, Cycles: 925731, BaseCycles: 59091, FillStall: 596640, FlushStall: 270000, Phi: 8, PhiFraction: 1, Traffic: 346656},
+		BL:   {Refs: 20000, Misses: 7458, E: 59091, Cycles: 903835, BaseCycles: 59091, FillStall: 574744, FlushStall: 270000, Phi: 7.706409224993296, PhiFraction: 0.963301153124162, Traffic: 346656},
+		BNL1: {Refs: 20000, Misses: 7458, E: 59091, Cycles: 892830, BaseCycles: 59091, FillStall: 563739, FlushStall: 270000, Phi: 7.558849557522124, PhiFraction: 0.9448561946902655, Traffic: 346656},
+		BNL2: {Refs: 20000, Misses: 7458, E: 59091, Cycles: 892632, BaseCycles: 59091, FillStall: 563541, FlushStall: 270000, Phi: 7.556194690265487, PhiFraction: 0.9445243362831859, Traffic: 346656},
+		BNL3: {Refs: 20000, Misses: 7458, E: 59091, Cycles: 870337, BaseCycles: 59091, FillStall: 541246, FlushStall: 270000, Phi: 7.257253955484044, PhiFraction: 0.9071567444355055, Traffic: 346656},
+		NB:   {Refs: 20000, Misses: 7458, E: 59091, Cycles: 869098, BaseCycles: 59091, FillStall: 540007, FlushStall: 270000, Phi: 7.240640922499329, PhiFraction: 0.9050801153124162, Traffic: 346656},
+	}
+	refs := trace.Collect(trace.MustProgram("nasa7", 1994), 20_000)
+	for _, f := range Features() {
+		cfg := Config{
+			Cache:   cache.Config{Size: 8 << 10, LineSize: 32, Assoc: 2, WriteMiss: cache.WriteAllocate, Replacement: cache.LRU},
+			Memory:  memory.Config{BetaM: 10, BusWidth: 4},
+			Feature: f,
+		}
+		if f == NB {
+			cfg.MSHRs = 4
+		}
+		got, err := Run(cfg, refs)
+		if err != nil {
+			t.Fatalf("%v: %v", f, err)
+		}
+		if got != want[f] {
+			t.Errorf("%v decomposition drifted:\ngot  %+v\nwant %+v", f, got, want[f])
+		}
+	}
+}

@@ -73,6 +73,17 @@ func (f Feature) String() string {
 	}
 }
 
+// ParseFeature maps a Table 2 feature name (FS, BL, BNL1, BNL2, BNL3,
+// NB) onto its Feature, rejecting unknown names.
+func ParseFeature(s string) (Feature, error) {
+	for _, f := range Features() {
+		if s == f.String() {
+			return f, nil
+		}
+	}
+	return 0, fmt.Errorf("stall: unknown stalling feature %q (want FS, BL, BNL1, BNL2, BNL3 or NB)", s)
+}
+
 // Config describes one stall-measurement design point.
 type Config struct {
 	Cache   cache.Config  // cache geometry and policies
@@ -97,25 +108,35 @@ type Config struct {
 }
 
 // Result reports the measured timing decomposition of a replay.
+//
+// Two kinds of stall counter appear below. Clock-advancing counters
+// (FillStall, BusWait, BufferFull, Conflict) moved the replay clock as
+// they were charged, so they shift the timing of everything that
+// follows. Additive counters (FlushStall, WriteStall) model the
+// paper's purely additive Eq. (2) terms: they are accumulated without
+// advancing the clock — so unrelated write traffic cannot perturb the
+// fill-stall (φ) measurement — and are added to the clock once, at the
+// end. Cycles is exactly BaseCycles plus all six stall counters.
 type Result struct {
-	Refs   uint64 // memory references replayed
-	Misses uint64 // load/store misses that fetched a line (Λm under write-allocate)
-	E      uint64 // dynamic instruction count
+	Refs   uint64 `json:"refs"`   // memory references replayed
+	Misses uint64 `json:"misses"` // load/store misses that fetched a line (Λm under write-allocate)
+	E      uint64 `json:"e"`      // dynamic instruction count
 
-	Cycles     int64 // total execution cycles X
-	BaseCycles int64 // cycles with a perfect memory system (one per instruction)
+	Cycles     int64 `json:"cycles"`      // total execution cycles X
+	BaseCycles int64 `json:"base_cycles"` // cycles with a perfect memory system (one per instruction)
 
-	FillStall   int64 // cycles stalled on line fills, incl. second-access stalls
-	FlushStall  int64 // cycles stalled on dirty-line copy-backs (exposed)
-	WriteStall  int64 // cycles stalled on write-around stores (exposed)
-	HiddenFlush int64 // flush cycles absorbed by the write buffer
-	BufferFull  int64 // cycles stalled because the write buffer was full
-	Conflict    int64 // cycles stalled on read-after-buffered-write conflicts
+	FillStall   int64 `json:"fill_stall"`   // cycles stalled on line fills, incl. second-access stalls
+	BusWait     int64 `json:"bus_wait"`     // cycles a blocking miss waited for the busy bus before its fill began
+	FlushStall  int64 `json:"flush_stall"`  // cycles stalled on dirty-line copy-backs (exposed, additive)
+	WriteStall  int64 `json:"write_stall"`  // cycles stalled on write-around stores (exposed, additive)
+	HiddenFlush int64 `json:"hidden_flush"` // flush cycles absorbed by the write buffer
+	BufferFull  int64 `json:"buffer_full"`  // cycles stalled because the write buffer was full
+	Conflict    int64 `json:"conflict"`     // cycles stalled on read-after-buffered-write conflicts
 
-	Phi         float64 // stalling factor: FillStall / (Misses · βm)
-	PhiFraction float64 // Phi normalized by its maximum L/D (Figure 1's y-axis)
+	Phi         float64 `json:"phi"`          // stalling factor: FillStall / (Misses · βm)
+	PhiFraction float64 `json:"phi_fraction"` // Phi normalized by its maximum L/D (Figure 1's y-axis)
 
-	Traffic uint64 // processor-memory bus traffic in bytes (fills, flushes, stores)
+	Traffic uint64 `json:"traffic"` // processor-memory bus traffic in bytes (fills, flushes, stores)
 }
 
 var errInstrOrder = errors.New("stall: trace instruction indices must be strictly increasing")
@@ -209,7 +230,11 @@ func (e *engine) replay(refs []trace.Ref) error {
 		}
 		e.res.Refs++
 	}
-	e.res.E = e.lastInstr + 1
+	// An empty trace executed nothing: leave E (and hence BaseCycles)
+	// zero rather than claiming one phantom instruction.
+	if e.started {
+		e.res.E = e.lastInstr + 1
+	}
 	return nil
 }
 
@@ -273,11 +298,11 @@ func (e *engine) onHit(r trace.Ref) {
 	case BNL1:
 		e.stallFill(fill.Complete())
 	case BNL2:
-		if e.cur < fill.ByteReady(int(r.Addr)%e.L, e.D) {
+		if e.cur < fill.ByteReady(int(r.Addr%uint64(e.L)), e.D) {
 			e.stallFill(fill.Complete())
 		}
 	case BNL3, NB:
-		e.stallFill(fill.ByteReady(int(r.Addr)%e.L, e.D))
+		e.stallFill(fill.ByteReady(int(r.Addr%uint64(e.L)), e.D))
 	}
 	e.retire()
 }
@@ -336,15 +361,19 @@ func (e *engine) onFill(r trace.Ref, out cache.Outcome) {
 		// transfer, or — under NB with spare MSHRs — a previous fill).
 		// Blocking features park the processor on the bus wait; a
 		// non-blocking cache just schedules the fill for when the bus
-		// frees and keeps executing.
+		// frees and keeps executing. This wait advances the replay
+		// clock, so it must be charged to the clock-advancing BusWait
+		// counter — the additive FlushStall total is re-added to the
+		// clock by result(), and charging it here would count the same
+		// cycles twice.
 		fillStart = e.busBusyUntil
 		if e.cfg.Feature != NB {
-			e.res.FlushStall += fillStart - e.cur
+			e.res.BusWait += fillStart - e.cur
 			e.cur = fillStart
 		}
 	}
 
-	critical := (int(r.Addr) % e.L) / e.D
+	critical := int(r.Addr%uint64(e.L)) / e.D
 	fill := e.mem.NewFill(fillStart, out.FillLine, e.L, critical)
 	e.fills = append(e.fills, fill)
 	e.busBusyUntil = fill.Complete()
@@ -404,9 +433,11 @@ func (e *engine) drainConflicts(line uint64) {
 	e.cur += stall
 }
 
-// result finalizes the measurement. FlushStall and WriteStall are
+// result finalizes the measurement. FlushStall and WriteStall are the
 // additive charges (see onFill/onWriteAround) that never advanced the
-// replay clock, so the total cycle count adds them here.
+// replay clock, so the total cycle count adds them here exactly once;
+// every other stall counter (FillStall, BusWait, BufferFull, Conflict)
+// already advanced e.cur during the replay.
 func (e *engine) result() Result {
 	r := e.res
 	r.Misses = e.cache.Stats().Fills

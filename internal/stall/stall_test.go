@@ -465,7 +465,7 @@ func TestCyclesDecomposition(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		sum := res.BaseCycles + res.FillStall + res.FlushStall + res.WriteStall + res.BufferFull + res.Conflict
+		sum := res.BaseCycles + res.FillStall + res.BusWait + res.FlushStall + res.WriteStall + res.BufferFull + res.Conflict
 		if res.Cycles != sum {
 			t.Fatalf("%v: cycles %d != decomposition %d", f, res.Cycles, sum)
 		}
