@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short race bench bench-stall figures figures-fast report examples serve clean
+.PHONY: all build vet lint test test-short race bench bench-smoke bench-stall figures figures-fast report examples serve clean
 
 all: build lint test race
 
@@ -19,11 +19,14 @@ vet:
 lint: vet
 	$(GO) run ./cmd/tradeoffvet ./...
 
+# -shuffle=on randomizes test (and subtest) execution order so hidden
+# inter-test coupling — shared caches, package-level state — surfaces
+# in CI instead of in production; the failure log prints the seed.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 test-short:
-	$(GO) test -short ./...
+	$(GO) test -short -shuffle=on ./...
 
 # Race-detector pass over every package (the concurrent subsystems —
 # sweep pool + service — are where it bites, but regressions can creep
@@ -38,9 +41,15 @@ serve:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Smoke-run the trace-replay sweep benchmarks (serial vs parallel
-# simjob pool) with a single iteration; CI uses this to keep them
-# compiling and executable without paying for real measurement.
+# Smoke-run the serial-vs-parallel benchmark pairs that sit on the
+# shared engine.Map pool (design-space sweep, trace-replay stall sweep,
+# cached service handler) with a single iteration; CI uses this to keep
+# them compiling and executable without paying for real measurement.
+bench-smoke:
+	$(GO) test -run=NONE -bench='BenchmarkSweepSerial|BenchmarkSweepParallel|BenchmarkTradeoffHandlerCached' -benchtime=1x .
+	$(GO) test -run=NONE -bench='BenchmarkStallSweep' -benchtime=1x ./internal/simjob
+
+# Back-compat alias for the stall-sweep half of bench-smoke.
 bench-stall:
 	$(GO) test -run=NONE -bench='BenchmarkStallSweep' -benchtime=1x ./internal/simjob
 

@@ -6,12 +6,13 @@
 //
 // Usage:
 //
-//	tradeoffd [-addr :8080] [-workers 0] [-cache 256] [-drain 10s]
+//	tradeoffd [-addr :8080] [-workers 0] [-cache 256] [-cache-mb 32] [-drain 10s]
 //
-// Sweeps run on the shared internal/sweep worker pool and stall grids
-// on the internal/simjob replay pool, which materializes each workload
+// Sweeps run on the shared engine.Map worker pool and stall grids on
+// the internal/simjob replay pool, which materializes each workload
 // trace once and shares it across requests; identical requests are
-// answered from a size-bounded LRU. SIGINT/SIGTERM triggers a graceful
+// answered from an LRU bounded by entries and bytes, and concurrent
+// identical requests share one evaluation. SIGINT/SIGTERM triggers a graceful
 // shutdown: the listener closes immediately, in-flight requests get
 // the drain timeout to finish, and a client that disconnects mid-sweep
 // cancels its workers via the request context.
@@ -44,17 +45,18 @@ func main() {
 		addr    = flag.String("addr", ":8080", "listen address")
 		workers = flag.Int("workers", 0, "sweep worker pool size (0 = all CPUs)")
 		entries = flag.Int("cache", 256, "response LRU capacity (entries)")
+		cacheMB = flag.Int64("cache-mb", 32, "response LRU capacity (MiB of response bytes)")
 		drain   = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 	)
 	flag.Parse()
-	if err := run(*addr, *workers, *entries, *drain); err != nil {
+	if err := run(*addr, *workers, *entries, *cacheMB<<20, *drain); err != nil {
 		fmt.Fprintln(os.Stderr, "tradeoffd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, entries int, drain time.Duration) error {
-	svc := service.New(service.Options{Workers: workers, CacheEntries: entries})
+func run(addr string, workers, entries int, cacheBytes int64, drain time.Duration) error {
+	svc := service.New(service.Options{Workers: workers, CacheEntries: entries, CacheBytes: cacheBytes})
 	srv := &http.Server{
 		Addr:              addr,
 		Handler:           svc.Handler(),

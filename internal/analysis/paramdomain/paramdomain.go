@@ -1,14 +1,16 @@
 // Package paramdomain enforces the paper's parameter domains at
 // construction sites. Eqs. (1)–(9) only hold for α ∈ [0, 1], βm ≥ 1,
 // L ≥ D > 0, φ ≥ 0 and positive instruction/traffic counts; a
-// core.Params (or sweep.Config / service profile) built outside those
-// domains produces numbers that look plausible and mean nothing.
+// core.Params (or sweep.Config / simjob.Grid / service profile) built
+// outside those domains produces numbers that look plausible and mean
+// nothing.
 //
 // Two kinds of findings:
 //
 //  1. a composite literal or field write whose *constant* value lies
 //     outside the field's documented domain (α = 1.5, βm = 0, L < D,
-//     φ > L/D where all three are constants), and
+//     φ > L/D where all three are constants) — including constant
+//     entries of a slice-valued axis field like simjob.Grid.BetaM — and
 //  2. a function that builds a non-empty core.Params composite literal
 //     but contains no reachable domain check — no Params.Validate()
 //     call and no call to a validation helper (a callee whose name
@@ -35,7 +37,7 @@ import (
 // Analyzer is the paramdomain check.
 var Analyzer = &lint.Analyzer{
 	Name: "paramdomain",
-	Doc:  "flags core.Params/sweep.Config constructions whose constant fields violate the paper's parameter domains (α ∈ [0,1], βm ≥ 1, L ≥ D > 0, …) and core.Params built without a reachable Validate() call",
+	Doc:  "flags core.Params/sweep.Config/simjob.Grid constructions whose constant fields violate the paper's parameter domains (α ∈ [0,1], βm ≥ 1, L ≥ D > 0, …) and core.Params built without a reachable Validate() call",
 	Run:  run,
 }
 
@@ -99,6 +101,9 @@ func interval(lo, hi float64) domain { return domain{min: lo, max: hi} }
 type ruledStruct struct {
 	pkgElem, name string
 	fields        map[string]domain
+	// elems gives the domain each element of a slice-valued field must
+	// satisfy, checked for constant entries of an inline []T literal.
+	elems map[string]domain
 	// needsValidate marks the type whose construction requires a
 	// reachable Validate()/domain-check call in the same function.
 	needsValidate bool
@@ -106,7 +111,8 @@ type ruledStruct struct {
 
 // rules encodes Table 1's domains (core.Params), the sweep engine's
 // config domain (zero selects a default, so only negatives are
-// constant-wrong there), and the service's application profile.
+// constant-wrong there), the stall grid's axes, and the service's
+// application profile.
 var rules = []*ruledStruct{
 	{
 		pkgElem: "core", name: "Params", needsValidate: true,
@@ -131,6 +137,26 @@ var rules = []*ruledStruct{
 			"AddrBits":   interval(0, 128),
 			"CtrlPins":   atLeast(0),
 			"SimRefs":    atLeast(0),
+		},
+	},
+	{
+		// The stall grid's scalar knobs reject negatives (zero selects a
+		// default), and its axis slices enumerate physical design points:
+		// sizes and widths must be positive, βm ≥ 1 (Table 1), and a
+		// write buffer may only have a non-negative depth (0 = none).
+		pkgElem: "simjob", name: "Grid",
+		fields: map[string]domain{
+			"Refs":  atLeast(0),
+			"Assoc": atLeast(0),
+			"MSHRs": atLeast(0),
+			"Q":     atLeast(0),
+		},
+		elems: map[string]domain{
+			"CacheKB":    positive(),
+			"LineBytes":  positive(),
+			"BusBytes":   positive(),
+			"BetaM":      atLeast(1),
+			"WbufDepths": atLeast(0),
 		},
 	},
 	{
@@ -196,6 +222,9 @@ func checkLiteral(pass *lint.Pass, lit *ast.CompositeLit) {
 		if name == "" || value == nil {
 			continue
 		}
+		if d, ruled := rule.elems[name]; ruled {
+			checkSliceElems(pass, rule.name, name, d, value)
+		}
 		v, isConst := constFloat(pass, value)
 		if !isConst {
 			continue
@@ -207,6 +236,24 @@ func checkLiteral(pass *lint.Pass, lit *ast.CompositeLit) {
 	}
 	if rule.name == "Params" {
 		checkParamsCross(pass, lit.Pos(), consts)
+	}
+}
+
+// checkSliceElems verifies constant entries of an inline slice literal
+// against the field's per-element domain, e.g. BetaM: []int64{0, 4}.
+// Keyed entries ({2: 5}) are rare enough in axis literals to skip.
+func checkSliceElems(pass *lint.Pass, structName, fieldName string, d domain, value ast.Expr) {
+	lit, ok := ast.Unparen(value).(*ast.CompositeLit)
+	if !ok {
+		return
+	}
+	for i, elt := range lit.Elts {
+		if _, keyed := elt.(*ast.KeyValueExpr); keyed {
+			continue
+		}
+		if v, isConst := constFloat(pass, elt); isConst && !d.contains(v) {
+			pass.Reportf(elt.Pos(), "%s.%s[%d] = %g outside its domain %s", structName, fieldName, i, v, d)
+		}
 	}
 }
 

@@ -2,11 +2,13 @@ package paramtest
 
 import (
 	"core"
+	"simjob"
 	"sweep"
 )
 
 func use(p core.Params)     {}
 func useCfg(c sweep.Config) {}
+func useGrid(g simjob.Grid) {}
 func hitRatio() float64     { return 0.95 }
 
 func constantViolations() {
@@ -67,6 +69,22 @@ func configDomains() {
 		CPUNS:     0,   // zero selects the default: fine
 	}
 	useCfg(c)
+}
+
+func gridDomains() {
+	g := simjob.Grid{
+		Refs:  -1, // want `Grid.Refs = -1 outside its domain \[0, \+inf\)`
+		MSHRs: -2, // want `Grid.MSHRs = -2 outside its domain \[0, \+inf\)`
+		Q:     0,  // zero selects the default: fine
+		CacheKB: []int{
+			8,
+			0, // want `Grid.CacheKB\[1\] = 0 outside its domain \(0, \+inf\)`
+		},
+		BetaM:      []int64{0, 4}, // want `Grid.BetaM\[0\] = 0 outside its domain \[1, \+inf\)`
+		WbufDepths: []int{0, 4},   // depth 0 means no buffer: fine
+	}
+	g.Assoc = -1 // want `Grid.Assoc = -1 outside its domain \[0, \+inf\)`
+	useGrid(g)
 }
 
 func positionalLiteral() {

@@ -1,0 +1,23 @@
+// Package simjob is a fixture stand-in for tradeoff/internal/simjob.
+package simjob
+
+type Grid struct {
+	Programs []string
+	Refs     int
+	Seed     uint64
+
+	Features   []string
+	CacheKB    []int
+	LineBytes  []int
+	BusBytes   []int
+	BetaM      []int64
+	WbufDepths []int
+
+	Assoc     int
+	WriteMiss string
+	Pipelined bool
+	Q         int64
+	MSHRs     int
+
+	Warm bool
+}

@@ -1,0 +1,30 @@
+package engine
+
+import (
+	"encoding/csv"
+	"io"
+)
+
+// WriteCSV emits a header row followed by n records produced by
+// row(i), in order, through one encoding/csv writer — the single CSV
+// emitter behind sweep.WriteCSV, simjob.WriteCSV and the plot
+// package's chart/table writers, so quoting and line-ending rules
+// cannot drift between them.
+func WriteCSV(w io.Writer, header []string, n int, row func(i int) []string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		if err := cw.Write(row(i)); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSVRows is WriteCSV over pre-built records.
+func WriteCSVRows(w io.Writer, header []string, rows [][]string) error {
+	return WriteCSV(w, header, len(rows), func(i int) []string { return rows[i] })
+}

@@ -1,0 +1,87 @@
+// Package engine is the repo's single parallel execution layer: a
+// generic slot-indexed bounded worker pool (Map), a byte-bounded
+// memoization cache with singleflight (Memo), and the shared CSV
+// encoder every table-shaped output goes through.
+//
+// Before this package, sweep.Run, simjob, and the experiments driver
+// each hand-rolled the same pool, and the service kept its own LRU;
+// they now all sit on engine, so pool semantics — deterministic
+// output order, first-error propagation, context cancellation — are
+// defined (and tested) exactly once.
+package engine
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Map applies fn to every item on a bounded worker pool and returns
+// the results in item order — byte-identical to a serial loop
+// regardless of worker count or completion order, because each worker
+// writes into its item's slot. workers <= 0 selects runtime.NumCPU().
+//
+// The first error wins: it cancels the pool's context, in-flight calls
+// may observe the cancellation, queued items are never started, and
+// Map returns that error. Cancelling ctx stops the pool the same way
+// and Map returns ctx.Err(). fn receives the pool's derived context so
+// long-running work can stop early.
+func Map[T, R any](ctx context.Context, items []T, workers int, fn func(context.Context, T) (R, error)) ([]R, error) {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(items) {
+		workers = len(items)
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// Workers pull indices from jobs and write to their slot in out, so
+	// completion order never affects output order.
+	out := make([]R, len(items))
+	jobs := make(chan int)
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() { firstErr = err })
+		cancel()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if ctx.Err() != nil {
+					return
+				}
+				r, err := fn(ctx, items[i])
+				if err != nil {
+					fail(err)
+					return
+				}
+				out[i] = r
+			}
+		}()
+	}
+feed:
+	for i := range items {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

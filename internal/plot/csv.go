@@ -1,39 +1,33 @@
 package plot
 
 import (
-	"encoding/csv"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"strconv"
+
+	"tradeoff/internal/engine"
 )
 
 // WriteCSV emits a chart's data in long form — one row per point with
 // columns (series, x, y) — which re-plots cleanly in any external tool
 // regardless of whether the series share x grids.
 func WriteCSV(w io.Writer, c Chart) error {
-	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"series", "x", "y"}); err != nil {
-		return err
-	}
+	var rows [][]string
 	for _, s := range c.Series {
 		if err := s.Validate(); err != nil {
 			return err
 		}
 		for i := range s.X {
-			rec := []string{
+			rows = append(rows, []string{
 				s.Name,
 				strconv.FormatFloat(s.X[i], 'g', -1, 64),
 				strconv.FormatFloat(s.Y[i], 'g', -1, 64),
-			}
-			if err := cw.Write(rec); err != nil {
-				return err
-			}
+			})
 		}
 	}
-	cw.Flush()
-	return cw.Error()
+	return engine.WriteCSVRows(w, []string{"series", "x", "y"}, rows)
 }
 
 // SaveCSV writes a chart's data to path, creating parent directories.
@@ -54,17 +48,7 @@ func SaveCSV(path string, c Chart) error {
 
 // WriteTableCSV emits a Table as CSV with its column header.
 func WriteTableCSV(w io.Writer, t Table) error {
-	cw := csv.NewWriter(w)
-	if err := cw.Write(t.Columns); err != nil {
-		return err
-	}
-	for _, row := range t.Rows {
-		if err := cw.Write(row); err != nil {
-			return err
-		}
-	}
-	cw.Flush()
-	return cw.Error()
+	return engine.WriteCSVRows(w, t.Columns, t.Rows)
 }
 
 // SaveTableCSV writes a table's data to path, creating parent

@@ -1,0 +1,76 @@
+package service
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The goldens were captured from the pre-refactor handlers (PR 3) and
+// pin the exact response bytes of /v1/sweep and /v1/stall in both
+// formats. The unified Endpoint pipeline must reproduce them
+// byte-for-byte: the refactor is allowed to move code, not output.
+//
+// Regenerate (only when an output change is intentional) with
+//
+//	go test ./internal/service -run TestEndpointGoldens -update-golden
+var updateGolden = flag.Bool("update-golden", false, "rewrite the endpoint golden files")
+
+// goldenGrid is the /v1/stall golden payload: small enough to replay
+// in milliseconds, wide enough to cover two features and two βm.
+const goldenGrid = `{
+  "programs":   ["nasa7"],
+  "refs":       4000,
+  "features":   ["FS", "BNL3"],
+  "beta_m":     [4, 10]
+}`
+
+// goldenSweepConfig exercises both the analytic surface and a
+// non-trivial Pareto frontier (the documented example space).
+const goldenSweepConfig = `{
+  "cache_kb":    [4, 8, 16, 32, 64],
+  "line_bytes":  [16, 32, 64],
+  "bus_bits":    [32, 64],
+  "assoc":       2,
+  "latency_ns":  360,
+  "transfer_ns": 60,
+  "cpu_ns":      30,
+  "hit_source":  "model"
+}`
+
+func TestEndpointGoldens(t *testing.T) {
+	_, ts := newTestServer(t)
+	cases := []struct {
+		name, url, body string
+	}{
+		{"sweep_golden.json", "/v1/sweep", goldenSweepConfig},
+		{"sweep_golden.csv", "/v1/sweep?format=csv", goldenSweepConfig},
+		{"stall_golden.json", "/v1/stall", goldenGrid},
+		{"stall_golden.csv", "/v1/stall?format=csv", goldenGrid},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			resp, body := post(t, ts.URL+c.url, c.body)
+			if resp.StatusCode != 200 {
+				t.Fatalf("status %d: %s", resp.StatusCode, body)
+			}
+			path := filepath.Join("testdata", c.name)
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, body, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("reading golden (re-run with -update-golden?): %v", err)
+			}
+			if string(body) != string(want) {
+				t.Fatalf("%s: response differs from the pre-refactor golden bytes\ngot:\n%s\nwant:\n%s", c.name, body, want)
+			}
+		})
+	}
+}

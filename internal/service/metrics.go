@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
+	"sync/atomic"
 	"time"
 )
 
@@ -16,10 +18,14 @@ import (
 type metrics struct {
 	requests    expvar.Int // requests accepted, all endpoints
 	errors      expvar.Int // responses with status >= 400
-	cacheHits   expvar.Int // LRU memoization hits
-	cacheMisses expvar.Int // LRU memoization misses
+	cacheHits   expvar.Int // memoization hits (cache or shared flight)
+	cacheMisses expvar.Int // memoization misses
 	inFlight    expvar.Int // requests currently being served
-	endpoints   expvar.Map // per-endpoint requests/errors/latency
+	endpoints   expvar.Map // per-endpoint requests/errors/latency/durations
+
+	// cacheBytes reads the response memo's live byte total — the gauge
+	// behind the byte-bounded LRU. Wired by New.
+	cacheBytes func() int64
 }
 
 func newMetrics() *metrics {
@@ -29,7 +35,8 @@ func newMetrics() *metrics {
 }
 
 // endpointVars returns (creating on first use) the per-endpoint
-// counter map: requests, errors, latency_us_total.
+// counter map: requests, errors, evaluations, latency_us_total and the
+// request-duration triple (count / total ns / max ns).
 func (m *metrics) endpointVars(name string) *expvar.Map {
 	if v := m.endpoints.Get(name); v != nil {
 		return v.(*expvar.Map)
@@ -37,10 +44,37 @@ func (m *metrics) endpointVars(name string) *expvar.Map {
 	em := new(expvar.Map).Init()
 	em.Set("requests", new(expvar.Int))
 	em.Set("errors", new(expvar.Int))
+	em.Set("evaluations", new(expvar.Int))
 	em.Set("latency_us_total", new(expvar.Int))
+	em.Set("duration_count", new(expvar.Int))
+	em.Set("duration_ns_total", new(expvar.Int))
+	em.Set("duration_ns_max", new(maxInt))
 	m.endpoints.Set(name, em)
 	return m.endpoints.Get(name).(*expvar.Map)
 }
+
+// evaluations returns the endpoint's actual-evaluation counter — it
+// advances only when an endpoint's run function executes, so
+// (requests - evaluations) is the work the memo and its singleflight
+// absorbed.
+func (m *metrics) evaluations(name string) *expvar.Int {
+	return m.endpointVars(name).Get("evaluations").(*expvar.Int)
+}
+
+// maxInt is an expvar gauge holding the maximum observed value.
+type maxInt struct{ v atomic.Int64 }
+
+// Observe raises the gauge to n if n is the new maximum.
+func (m *maxInt) Observe(n int64) {
+	for {
+		cur := m.v.Load()
+		if n <= cur || m.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+func (m *maxInt) String() string { return strconv.FormatInt(m.v.Load(), 10) }
 
 // statusWriter captures the response status for error accounting.
 type statusWriter struct {
@@ -53,8 +87,9 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps an endpoint handler with request, error, in-flight
-// and latency accounting under the given endpoint name.
+// instrument wraps an endpoint handler with request, error, in-flight,
+// latency and request-duration accounting under the given endpoint
+// name — the one place every route's timing flows through.
 func (m *metrics) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 	ep := m.endpointVars(name)
 	return func(w http.ResponseWriter, r *http.Request) {
@@ -71,7 +106,11 @@ func (m *metrics) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 			m.errors.Add(1)
 			ep.Get("errors").(*expvar.Int).Add(1)
 		}
-		ep.Get("latency_us_total").(*expvar.Int).Add(time.Since(start).Microseconds())
+		d := time.Since(start)
+		ep.Get("latency_us_total").(*expvar.Int).Add(d.Microseconds())
+		ep.Get("duration_count").(*expvar.Int).Add(1)
+		ep.Get("duration_ns_total").(*expvar.Int).Add(d.Nanoseconds())
+		ep.Get("duration_ns_max").(*maxInt).Observe(d.Nanoseconds())
 	}
 }
 
@@ -83,6 +122,10 @@ func (m *metrics) serveHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	var cacheBytes expvar.Int
+	if m.cacheBytes != nil {
+		cacheBytes.Set(m.cacheBytes())
+	}
 	vars := []struct {
 		name string
 		v    expvar.Var
@@ -91,6 +134,7 @@ func (m *metrics) serveHTTP(w http.ResponseWriter, r *http.Request) {
 		{"errors_total", &m.errors},
 		{"cache_hits", &m.cacheHits},
 		{"cache_misses", &m.cacheMisses},
+		{"cache_bytes", &cacheBytes},
 		{"in_flight", &m.inFlight},
 		{"endpoints", &m.endpoints},
 	}

@@ -13,27 +13,30 @@
 //	                   decomposition → JSON or CSV
 //	GET  /healthz      liveness probe
 //	GET  /metrics      expvar counters: requests, errors, cache
-//	                   hits/misses, in-flight, per-endpoint latency
+//	                   hits/misses/bytes, in-flight, per-endpoint
+//	                   latency and evaluation counts
 //
-// All POST endpoints are pure functions of their payloads, so
-// responses are memoized in a size-bounded LRU keyed by the
-// canonicalized request. Request contexts flow into the worker pools:
-// a disconnected client cancels its in-flight sweep or replay. The
+// All POST endpoints are pure functions of their payloads and run on
+// one generic pipeline (see endpoint.go): decode → defaults →
+// validate → limits → canonical key → memo → run → encode. Responses
+// are memoized in an engine.Memo LRU bounded by entries AND bytes,
+// whose singleflight collapses concurrent identical requests into a
+// single evaluation. Request contexts flow into the worker pools: a
+// disconnected client cancels its in-flight sweep or replay. The
 // server holds one simjob.Runner for its lifetime, so materialized
 // workload traces are shared across /v1/stall requests.
 package service
 
 import (
-	"bytes"
+	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"io"
 	"math"
 	"net/http"
-	"strings"
 
 	"tradeoff/internal/core"
+	"tradeoff/internal/engine"
 	"tradeoff/internal/simjob"
 	"tradeoff/internal/sweep"
 )
@@ -44,8 +47,12 @@ const maxBodyBytes = 1 << 20
 
 // Options configures a Server. The zero value is ready for production.
 type Options struct {
-	// CacheEntries bounds the response LRU (default 256).
+	// CacheEntries bounds the response LRU's entry count (default 256).
 	CacheEntries int
+	// CacheBytes bounds the response LRU's total body bytes (default
+	// 32 MiB), so a handful of huge CSV sweeps cannot pin megabytes
+	// beyond the byte budget however few entries they are.
+	CacheBytes int64
 	// Workers sizes the sweep pool (default 0 = runtime.NumCPU()).
 	Workers int
 	// Limits bounds untrusted sweep payloads (zero value =
@@ -56,12 +63,19 @@ type Options struct {
 	StallLimits simjob.Limits
 }
 
-// Server is the tradeoffd HTTP service: stateless handlers over the
-// shared sweep engine plus a response LRU and expvar counters.
+// cachedResponse is one memoized endpoint response: the exact bytes
+// and content type to replay on a key match.
+type cachedResponse struct {
+	contentType string
+	body        []byte
+}
+
+// Server is the tradeoffd HTTP service: declarative endpoints over the
+// shared evaluation engines plus a response memo and expvar counters.
 type Server struct {
 	opts    Options
 	mux     *http.ServeMux
-	cache   *lruCache
+	cache   *engine.Memo[cachedResponse]
 	metrics *metrics
 	runner  *simjob.Runner
 }
@@ -71,6 +85,9 @@ func New(opts Options) *Server {
 	if opts.CacheEntries == 0 {
 		opts.CacheEntries = 256
 	}
+	if opts.CacheBytes == 0 {
+		opts.CacheBytes = 32 << 20
+	}
 	if opts.Limits == (sweep.Limits{}) {
 		opts.Limits = sweep.DefaultLimits
 	}
@@ -78,15 +95,18 @@ func New(opts Options) *Server {
 		opts.StallLimits = simjob.DefaultLimits
 	}
 	s := &Server{
-		opts:    opts,
-		mux:     http.NewServeMux(),
-		cache:   newLRUCache(opts.CacheEntries),
+		opts: opts,
+		mux:  http.NewServeMux(),
+		cache: engine.NewMemo(opts.CacheEntries, opts.CacheBytes, func(r cachedResponse) int64 {
+			return int64(len(r.body) + len(r.contentType))
+		}),
 		metrics: newMetrics(),
 		runner:  simjob.NewRunner(),
 	}
-	s.mux.HandleFunc("/v1/tradeoff", s.metrics.instrument("/v1/tradeoff", s.handleTradeoff))
-	s.mux.HandleFunc("/v1/sweep", s.metrics.instrument("/v1/sweep", s.handleSweep))
-	s.mux.HandleFunc("/v1/stall", s.metrics.instrument("/v1/stall", s.handleStall))
+	s.metrics.cacheBytes = s.cache.Bytes
+	s.mux.HandleFunc("/v1/tradeoff", s.metrics.instrument("/v1/tradeoff", handle(s, s.tradeoffEndpoint())))
+	s.mux.HandleFunc("/v1/sweep", s.metrics.instrument("/v1/sweep", handle(s, s.sweepEndpoint())))
+	s.mux.HandleFunc("/v1/stall", s.metrics.instrument("/v1/stall", handle(s, s.stallEndpoint())))
 	s.mux.HandleFunc("/healthz", s.metrics.instrument("/healthz", s.handleHealthz))
 	s.mux.HandleFunc("/metrics", s.metrics.serveHTTP)
 	return s
@@ -187,31 +207,33 @@ type ExecResponse struct {
 	Misses            float64 `json:"misses"`              // Λm = R/L + W (Eq. 1)
 }
 
-func (s *Server) handleTradeoff(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "use POST")
-		return
+// tradeoffEndpoint registers POST /v1/tradeoff on the shared pipeline.
+// Validation happens inside run (featureSpec and the core domain
+// checks), so malformed JSON is a 400 and out-of-domain parameters a
+// 422 — exactly the pre-pipeline split.
+func (s *Server) tradeoffEndpoint() endpoint[TradeoffRequest, TradeoffResponse] {
+	return endpoint[TradeoffRequest, TradeoffResponse]{
+		name: "/v1/tradeoff",
+		decode: func(body []byte) (TradeoffRequest, error) {
+			var req TradeoffRequest
+			if err := json.Unmarshal(body, &req); err != nil {
+				return req, fmt.Errorf("decoding request: %w", err)
+			}
+			req.setDefaults()
+			return req, nil
+		},
+		key:        func(req TradeoffRequest) ([]byte, error) { return json.Marshal(req) },
+		run:        func(_ context.Context, req TradeoffRequest) (TradeoffResponse, error) { return evalTradeoff(req) },
+		encodeJSON: func(res TradeoffResponse) any { return res },
 	}
-	var req TradeoffRequest
-	if err := decodeJSON(w, r, &req); err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
-		return
-	}
-	req.setDefaults()
+}
 
-	key, err := json.Marshal(req)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
-		return
-	}
-	if s.replayCached(w, "tradeoff|"+string(key)) {
-		return
-	}
-
+// evalTradeoff prices one feature request — the pure function behind
+// POST /v1/tradeoff.
+func evalTradeoff(req TradeoffRequest) (TradeoffResponse, error) {
 	spec, err := req.featureSpec()
 	if err != nil {
-		httpError(w, http.StatusUnprocessableEntity, err.Error())
-		return
+		return TradeoffResponse{}, err
 	}
 	var tr core.Tradeoff
 	if *req.Issue > 1 {
@@ -220,8 +242,7 @@ func (s *Server) handleTradeoff(w http.ResponseWriter, r *http.Request) {
 		tr, err = core.FeatureTradeoff(spec, *req.HitRatio, *req.Alpha, *req.L, *req.D, *req.BetaM)
 	}
 	if err != nil {
-		httpError(w, http.StatusUnprocessableEntity, err.Error())
-		return
+		return TradeoffResponse{}, err
 	}
 	resp := TradeoffResponse{
 		Feature:            tr.Feature.String(),
@@ -245,8 +266,7 @@ func (s *Server) handleTradeoff(w http.ResponseWriter, r *http.Request) {
 		}
 		p = p.WithFullStall()
 		if err := p.Validate(); err != nil {
-			httpError(w, http.StatusUnprocessableEntity, err.Error())
-			return
+			return TradeoffResponse{}, err
 		}
 		resp.Exec = &ExecResponse{
 			ExecutionCycles:   core.ExecutionTime(p),
@@ -254,7 +274,7 @@ func (s *Server) handleTradeoff(w http.ResponseWriter, r *http.Request) {
 			Misses:            p.Misses(),
 		}
 	}
-	s.writeAndCache(w, "tradeoff|"+string(key), "application/json", mustJSON(resp))
+	return resp, nil
 }
 
 // SweepResponse is the JSON shape of POST /v1/sweep.
@@ -264,64 +284,21 @@ type SweepResponse struct {
 	Designs     []sweep.Design `json:"designs"`
 }
 
-func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "use POST")
-		return
+// sweepEndpoint registers POST /v1/sweep on the shared pipeline.
+func (s *Server) sweepEndpoint() endpoint[sweep.Config, []sweep.Design] {
+	return endpoint[sweep.Config, []sweep.Design]{
+		name:   "/v1/sweep",
+		decode: sweep.ParseConfig,
+		limits: func(cfg sweep.Config) error { return cfg.CheckLimits(s.opts.Limits) },
+		key:    sweep.Config.Canonical,
+		run: func(ctx context.Context, cfg sweep.Config) ([]sweep.Design, error) {
+			return sweep.Run(ctx, cfg, s.opts.Workers)
+		},
+		encodeJSON: func(ds []sweep.Design) any {
+			return SweepResponse{Count: len(ds), ParetoCount: sweep.ParetoCount(ds), Designs: ds}
+		},
+		encodeCSV: func(w io.Writer, ds []sweep.Design) error { return sweep.WriteCSV(w, ds) },
 	}
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
-	if err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
-		return
-	}
-	cfg, err := sweep.ParseConfig(body)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
-		return
-	}
-	if err := cfg.CheckLimits(s.opts.Limits); err != nil {
-		httpError(w, http.StatusUnprocessableEntity, err.Error())
-		return
-	}
-	format, err := sweepFormat(r)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
-		return
-	}
-
-	canon, err := cfg.Canonical()
-	if err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
-		return
-	}
-	key := "sweep|" + format + "|" + string(canon)
-	if s.replayCached(w, key) {
-		return
-	}
-
-	designs, err := sweep.Run(r.Context(), cfg, s.opts.Workers)
-	switch {
-	case errors.Is(err, r.Context().Err()) && r.Context().Err() != nil:
-		// Client went away; nobody is reading, don't poison counters
-		// with a 5xx nor cache a partial result.
-		httpError(w, statusClientClosedRequest, "request cancelled")
-		return
-	case err != nil:
-		httpError(w, http.StatusUnprocessableEntity, err.Error())
-		return
-	}
-
-	if format == "csv" {
-		var buf bytes.Buffer
-		if err := sweep.WriteCSV(&buf, designs); err != nil {
-			httpError(w, http.StatusInternalServerError, err.Error())
-			return
-		}
-		s.writeAndCache(w, key, "text/csv; charset=utf-8", buf.Bytes())
-		return
-	}
-	resp := SweepResponse{Count: len(designs), ParetoCount: sweep.ParetoCount(designs), Designs: designs}
-	s.writeAndCache(w, key, "application/json", mustJSON(resp))
 }
 
 // StallResponse is the JSON shape of POST /v1/stall.
@@ -330,84 +307,21 @@ type StallResponse struct {
 	Points []simjob.PointResult `json:"points"`
 }
 
-func (s *Server) handleStall(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "use POST")
-		return
+// stallEndpoint registers POST /v1/stall on the shared pipeline.
+func (s *Server) stallEndpoint() endpoint[simjob.Grid, []simjob.PointResult] {
+	return endpoint[simjob.Grid, []simjob.PointResult]{
+		name:   "/v1/stall",
+		decode: simjob.ParseGrid,
+		limits: func(g simjob.Grid) error { return g.CheckLimits(s.opts.StallLimits) },
+		key:    simjob.Grid.Canonical,
+		run: func(ctx context.Context, g simjob.Grid) ([]simjob.PointResult, error) {
+			return s.runner.RunGrid(ctx, g, s.opts.Workers)
+		},
+		encodeJSON: func(ps []simjob.PointResult) any {
+			return StallResponse{Count: len(ps), Points: ps}
+		},
+		encodeCSV: func(w io.Writer, ps []simjob.PointResult) error { return simjob.WriteCSV(w, ps) },
 	}
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
-	if err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
-		return
-	}
-	grid, err := simjob.ParseGrid(body)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
-		return
-	}
-	if err := grid.CheckLimits(s.opts.StallLimits); err != nil {
-		httpError(w, http.StatusUnprocessableEntity, err.Error())
-		return
-	}
-	format, err := sweepFormat(r)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
-		return
-	}
-
-	canon, err := grid.Canonical()
-	if err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
-		return
-	}
-	key := "stall|" + format + "|" + string(canon)
-	if s.replayCached(w, key) {
-		return
-	}
-
-	points, err := s.runner.RunGrid(r.Context(), grid, s.opts.Workers)
-	switch {
-	case errors.Is(err, r.Context().Err()) && r.Context().Err() != nil:
-		// Client went away; nobody is reading, don't poison counters
-		// with a 5xx nor cache a partial result.
-		httpError(w, statusClientClosedRequest, "request cancelled")
-		return
-	case err != nil:
-		httpError(w, http.StatusUnprocessableEntity, err.Error())
-		return
-	}
-
-	if format == "csv" {
-		var buf bytes.Buffer
-		if err := simjob.WriteCSV(&buf, points); err != nil {
-			httpError(w, http.StatusInternalServerError, err.Error())
-			return
-		}
-		s.writeAndCache(w, key, "text/csv; charset=utf-8", buf.Bytes())
-		return
-	}
-	resp := StallResponse{Count: len(points), Points: points}
-	s.writeAndCache(w, key, "application/json", mustJSON(resp))
-}
-
-// statusClientClosedRequest is nginx's non-standard 499: the client
-// disconnected before the response was written.
-const statusClientClosedRequest = 499
-
-// sweepFormat picks the response encoding: ?format=csv|json wins,
-// otherwise an Accept: text/csv header, otherwise JSON.
-func sweepFormat(r *http.Request) (string, error) {
-	switch f := r.URL.Query().Get("format"); f {
-	case "csv", "json":
-		return f, nil
-	case "":
-	default:
-		return "", fmt.Errorf("unknown format %q (want json or csv)", f)
-	}
-	if accept := r.Header.Get("Accept"); strings.Contains(accept, "text/csv") {
-		return "csv", nil
-	}
-	return "json", nil
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -417,38 +331,6 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	_, _ = io.WriteString(w, "ok\n") // a failed write means the client left
-}
-
-// replayCached serves a memoized response if present, counting the
-// hit/miss either way.
-func (s *Server) replayCached(w http.ResponseWriter, key string) bool {
-	resp, ok := s.cache.get(key)
-	if !ok {
-		s.metrics.cacheMisses.Add(1)
-		return false
-	}
-	s.metrics.cacheHits.Add(1)
-	w.Header().Set("Content-Type", resp.contentType)
-	w.Header().Set("X-Cache", "hit")
-	_, _ = w.Write(resp.body) // a failed write means the client left
-	return true
-}
-
-// writeAndCache sends a fresh response and memoizes it.
-func (s *Server) writeAndCache(w http.ResponseWriter, key, contentType string, body []byte) {
-	s.cache.put(key, cachedResponse{contentType: contentType, body: body})
-	w.Header().Set("Content-Type", contentType)
-	w.Header().Set("X-Cache", "miss")
-	_, _ = w.Write(body) // a failed write means the client left
-}
-
-// decodeJSON decodes a bounded request body into v.
-func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
-	if err := dec.Decode(v); err != nil {
-		return fmt.Errorf("decoding request: %w", err)
-	}
-	return nil
 }
 
 // mustJSON marshals a response the server itself constructed; a

@@ -8,6 +8,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"strings"
+	"sync"
 	"testing"
 
 	"tradeoff/internal/core"
@@ -330,20 +331,87 @@ func TestMetricsCountersAdvance(t *testing.T) {
 	_ = s
 }
 
-func TestLRUEviction(t *testing.T) {
-	c := newLRUCache(2)
-	c.put("a", cachedResponse{body: []byte("a")})
-	c.put("b", cachedResponse{body: []byte("b")})
-	c.get("a") // refresh a; b is now LRU
-	c.put("c", cachedResponse{body: []byte("c")})
-	if _, ok := c.get("b"); ok {
-		t.Fatal("b should have been evicted")
+// TestCacheByteBound checks the response memo is bounded by bytes, not
+// just entries, and that the /metrics document exposes the live
+// cache_bytes gauge.
+func TestCacheByteBound(t *testing.T) {
+	// A byte budget small enough that the (~1.3 KB) sweep CSV golden
+	// cannot be cached: the response must still be served, twice, with
+	// no hit and without the gauge exceeding the bound.
+	s := New(Options{CacheBytes: 512})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	for i := 0; i < 2; i++ {
+		resp, _ := post(t, ts.URL+"/v1/sweep?format=csv", sweep.ExampleConfig)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, resp.StatusCode)
+		}
+		if got := resp.Header.Get("X-Cache"); got != "miss" {
+			t.Fatalf("request %d: X-Cache = %q, want miss (response over the byte budget)", i, got)
+		}
 	}
-	if _, ok := c.get("a"); !ok {
-		t.Fatal("a should have survived")
+	if got := s.cache.Bytes(); got > 512 {
+		t.Fatalf("cache bytes = %d exceeds the 512-byte bound", got)
 	}
-	if c.len() != 2 {
-		t.Fatalf("len = %d, want 2", c.len())
+
+	// The small /v1/tradeoff response fits and is cached; the gauge and
+	// the /metrics document both report its footprint.
+	if resp, _ := post(t, ts.URL+"/v1/tradeoff", `{"feature":"bus"}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("tradeoff status %d", resp.StatusCode)
+	}
+	if got := s.cache.Bytes(); got <= 0 || got > 512 {
+		t.Fatalf("cache bytes = %d, want in (0, 512]", got)
+	}
+	var m struct {
+		CacheBytes int64 `json:"cache_bytes"`
+	}
+	_, body := get(t, ts.URL+"/metrics")
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatalf("metrics not JSON: %v\n%s", err, body)
+	}
+	if m.CacheBytes != s.cache.Bytes() {
+		t.Fatalf("metrics cache_bytes = %d, want %d", m.CacheBytes, s.cache.Bytes())
+	}
+}
+
+// TestSweepSingleflight is the dedup acceptance test: N concurrent
+// identical /v1/sweep requests must share exactly one engine
+// evaluation — the first runs, the rest join its flight (or hit the
+// cache if they arrive after it lands), never re-run the sweep.
+func TestSweepSingleflight(t *testing.T) {
+	s, ts := newTestServer(t)
+	// A simulation-backed sweep takes long enough that the requests
+	// genuinely overlap.
+	cfg := `{"cache_kb":[4,8],"line_bytes":[32],"bus_bits":[32],
+		"latency_ns":360,"transfer_ns":60,"cpu_ns":30,
+		"hit_source":"sim:zipf","sim_refs":100000}`
+	const n = 8
+	var wg sync.WaitGroup
+	codes := make([]int, n)
+	bodies := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, body := post(t, ts.URL+"/v1/sweep", cfg)
+			codes[i], bodies[i] = resp.StatusCode, body
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if codes[i] != http.StatusOK {
+			t.Fatalf("request %d: status %d: %s", i, codes[i], bodies[i])
+		}
+		if string(bodies[i]) != string(bodies[0]) {
+			t.Fatalf("request %d returned different bytes than request 0", i)
+		}
+	}
+	if got := s.metrics.evaluations("/v1/sweep").Value(); got != 1 {
+		t.Fatalf("%d concurrent identical sweeps ran %d evaluations, want exactly 1", n, got)
+	}
+	if hits := s.CacheHits(); hits != n-1 {
+		t.Fatalf("cache hits = %d, want %d (every follower shares the one evaluation)", hits, n-1)
 	}
 }
 

@@ -2,13 +2,13 @@ package simjob
 
 import (
 	"context"
-	"encoding/csv"
 	"encoding/json"
 	"fmt"
 	"io"
 	"strconv"
 
 	"tradeoff/internal/cache"
+	"tradeoff/internal/engine"
 	"tradeoff/internal/memory"
 	"tradeoff/internal/stall"
 	"tradeoff/internal/trace"
@@ -293,19 +293,15 @@ func (g Grid) Canonical() ([]byte, error) {
 // WriteCSV emits one row per point result in slice order, carrying the
 // full Result decomposition.
 func WriteCSV(w io.Writer, rs []PointResult) error {
-	cw := csv.NewWriter(w)
 	header := []string{
 		"program", "feature", "cache_kb", "line_bytes", "bus_bytes", "beta_m", "wbuf_depth",
 		"refs", "misses", "e", "cycles", "base_cycles",
 		"fill_stall", "bus_wait", "flush_stall", "write_stall", "hidden_flush", "buffer_full", "conflict",
 		"phi", "phi_fraction", "traffic",
 	}
-	if err := cw.Write(header); err != nil {
-		return err
-	}
-	for i := range rs {
+	return engine.WriteCSV(w, header, len(rs), func(i int) []string {
 		r := &rs[i]
-		rec := []string{
+		return []string{
 			r.Program, r.Feature,
 			strconv.Itoa(r.CacheKB), strconv.Itoa(r.LineBytes), strconv.Itoa(r.BusBytes),
 			strconv.FormatInt(r.BetaM, 10), strconv.Itoa(r.WbufDepth),
@@ -325,10 +321,5 @@ func WriteCSV(w io.Writer, rs []PointResult) error {
 			strconv.FormatFloat(r.Result.PhiFraction, 'f', 6, 64),
 			strconv.FormatUint(r.Result.Traffic, 10),
 		}
-		if err := cw.Write(rec); err != nil {
-			return err
-		}
-	}
-	cw.Flush()
-	return cw.Error()
+	})
 }

@@ -4,12 +4,12 @@
 //
 // A Runner materializes each named workload trace once into a shared
 // read-only []trace.Ref (memoized by (program, seed, refs)), fans
-// (feature × cache × memory × write-buffer) design points out across a
-// bounded worker pool, and returns results in enumeration order — the
-// same slot-indexed pattern as sweep.Run, so parallel output is
-// byte-identical to a serial replay. Optionally it keeps one warmed
-// cache per (trace, geometry) and clones it per measurement, so
-// cold-start misses are paid once instead of per design point.
+// (feature × cache × memory × write-buffer) design points out across
+// the shared engine.Map pool, and returns results in enumeration
+// order, so parallel output is byte-identical to a serial replay.
+// Optionally it keeps one warmed cache per (trace, geometry) and
+// clones it per measurement, so cold-start misses are paid once
+// instead of per design point.
 //
 // The consumers are cmd/figures and cmd/cachesim (via their -workers
 // flags) and the tradeoffd service's POST /v1/stall endpoint.
@@ -18,11 +18,10 @@ package simjob
 import (
 	"context"
 	"fmt"
-	"runtime"
-	"sync"
 	"sync/atomic"
 
 	"tradeoff/internal/cache"
+	"tradeoff/internal/engine"
 	"tradeoff/internal/stall"
 	"tradeoff/internal/trace"
 )
@@ -45,43 +44,34 @@ func (s TraceSpec) Materialize() ([]trace.Ref, error) {
 	return trace.Collect(src, s.Refs), nil
 }
 
-// traceEntry is one memoized trace; once makes concurrent first
-// requests for the same spec generate it exactly once.
-type traceEntry struct {
-	once sync.Once
-	refs []trace.Ref
-	err  error
+// key is the spec's engine.Memo key.
+func (s TraceSpec) key() string {
+	return fmt.Sprintf("%s|%d|%d", s.Program, s.Seed, s.Refs)
 }
 
-// TraceCache memoizes materialized traces by spec. The cached slices
-// are shared read-only across every replay that uses them; callers
-// must not mutate what Get returns.
+// TraceCache memoizes materialized traces by spec on an unbounded
+// engine.Memo; its singleflight makes concurrent first requests for
+// the same spec generate it exactly once. The cached slices are shared
+// read-only across every replay that uses them; callers must not
+// mutate what Get returns.
 type TraceCache struct {
-	mu        sync.Mutex
-	entries   map[TraceSpec]*traceEntry
+	memo      *engine.Memo[[]trace.Ref]
 	generated atomic.Int64
 }
 
 // NewTraceCache returns an empty trace cache.
 func NewTraceCache() *TraceCache {
-	return &TraceCache{entries: make(map[TraceSpec]*traceEntry)}
+	return &TraceCache{memo: engine.NewMemo[[]trace.Ref](0, 0, nil)}
 }
 
 // Get returns the memoized trace for spec, materializing it on first
 // use. Concurrent callers for the same spec share one generation.
-func (tc *TraceCache) Get(spec TraceSpec) ([]trace.Ref, error) {
-	tc.mu.Lock()
-	e, ok := tc.entries[spec]
-	if !ok {
-		e = &traceEntry{}
-		tc.entries[spec] = e
-	}
-	tc.mu.Unlock()
-	e.once.Do(func() {
+func (tc *TraceCache) Get(ctx context.Context, spec TraceSpec) ([]trace.Ref, error) {
+	refs, _, err := tc.memo.Do(ctx, spec.key(), func(context.Context) ([]trace.Ref, error) {
 		tc.generated.Add(1)
-		e.refs, e.err = spec.Materialize()
+		return spec.Materialize()
 	})
-	return e.refs, e.err
+	return refs, err
 }
 
 // Generated returns how many distinct traces have been materialized —
@@ -108,35 +98,18 @@ type Options struct {
 	Warm bool
 }
 
-// warmKey identifies one warmed cache: same trace, same geometry.
-// cache.Config is comparable, so the pair indexes a map directly.
-type warmKey struct {
-	spec TraceSpec
-	cc   cache.Config
-}
-
-// warmEntry is one memoized warmed cache; clones are taken under once
-// protection having completed.
-type warmEntry struct {
-	once sync.Once
-	c    *cache.Cache
-	err  error
-}
-
 // Runner owns the shared memoization state — materialized traces and
 // warmed caches — across any number of Run calls. A single Runner is
 // safe for concurrent use; the tradeoffd service holds one for its
 // whole lifetime so traces survive across requests.
 type Runner struct {
 	traces *TraceCache
-
-	warmMu sync.Mutex
-	warm   map[warmKey]*warmEntry
+	warm   *engine.Memo[*cache.Cache]
 }
 
 // NewRunner returns a Runner with empty caches.
 func NewRunner() *Runner {
-	return &Runner{traces: NewTraceCache(), warm: make(map[warmKey]*warmEntry)}
+	return &Runner{traces: NewTraceCache(), warm: engine.NewMemo[*cache.Cache](0, 0, nil)}
 }
 
 // Traces exposes the runner's trace cache (for metrics and tests).
@@ -144,42 +117,35 @@ func (r *Runner) Traces() *TraceCache { return r.traces }
 
 // warmClone returns a clone of the warmed cache for (spec, geometry),
 // warming it on first use by streaming the trace through a fresh cache
-// and resetting its statistics.
-func (r *Runner) warmClone(spec TraceSpec, cc cache.Config, refs []trace.Ref) (*cache.Cache, error) {
-	key := warmKey{spec: spec, cc: cc}
-	r.warmMu.Lock()
-	e, ok := r.warm[key]
-	if !ok {
-		e = &warmEntry{}
-		r.warm[key] = e
-	}
-	r.warmMu.Unlock()
-	e.once.Do(func() {
+// and resetting its statistics. Concurrent first requests share one
+// warm-up via the memo's singleflight.
+func (r *Runner) warmClone(ctx context.Context, spec TraceSpec, cc cache.Config, refs []trace.Ref) (*cache.Cache, error) {
+	key := fmt.Sprintf("%s|%+v", spec.key(), cc)
+	c, _, err := r.warm.Do(ctx, key, func(context.Context) (*cache.Cache, error) {
 		c, err := cache.New(cc)
 		if err != nil {
-			e.err = err
-			return
+			return nil, err
 		}
 		for _, ref := range refs {
 			c.Access(ref.Addr, ref.Write)
 		}
 		c.ResetStats()
-		e.c = c
+		return c, nil
 	})
-	if e.err != nil {
-		return nil, e.err
+	if err != nil {
+		return nil, err
 	}
-	return e.c.Clone(), nil
+	return c.Clone(), nil
 }
 
 // measure replays one job, through a warmed clone when opts.Warm.
-func (r *Runner) measure(job Job, opts Options) (stall.Result, error) {
-	refs, err := r.traces.Get(job.Trace)
+func (r *Runner) measure(ctx context.Context, job Job, opts Options) (stall.Result, error) {
+	refs, err := r.traces.Get(ctx, job.Trace)
 	if err != nil {
 		return stall.Result{}, err
 	}
 	if opts.Warm {
-		c, err := r.warmClone(job.Trace, job.Cfg.Cache, refs)
+		c, err := r.warmClone(ctx, job.Trace, job.Cfg.Cache, refs)
 		if err != nil {
 			return stall.Result{}, err
 		}
@@ -188,105 +154,29 @@ func (r *Runner) measure(job Job, opts Options) (stall.Result, error) {
 	return stall.Run(job.Cfg, refs)
 }
 
-// Run measures every job on a bounded worker pool and returns results
-// indexed like jobs — deterministic regardless of worker count or
-// completion order. The context cancels in-flight work: a disconnected
-// HTTP client or an interrupted CLI stops the pool early with
-// ctx.Err().
+// Run measures every job on the shared engine.Map pool and returns
+// results indexed like jobs — deterministic regardless of worker count
+// or completion order. The context cancels in-flight work: a
+// disconnected HTTP client or an interrupted CLI stops the pool early
+// with ctx.Err().
 func (r *Runner) Run(ctx context.Context, jobs []Job, opts Options) ([]stall.Result, error) {
 	if len(jobs) == 0 {
 		return nil, fmt.Errorf("simjob: no jobs")
 	}
-	out := make([]stall.Result, len(jobs))
-	err := pool(ctx, len(jobs), opts.Workers, func(i int) error {
-		res, err := r.measure(jobs[i], opts)
-		if err != nil {
-			return err
-		}
-		out[i] = res
-		return nil
+	return engine.Map(ctx, jobs, opts.Workers, func(ctx context.Context, job Job) (stall.Result, error) {
+		return r.measure(ctx, job, opts)
 	})
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
 }
 
 // RunRefs measures one caller-supplied trace under each configuration
-// on a bounded worker pool — the cmd/cachesim path, where the trace
-// comes from a file or a one-off generator rather than a named
-// program. The refs slice is shared read-only across workers.
+// on the shared pool — the cmd/cachesim path, where the trace comes
+// from a file or a one-off generator rather than a named program. The
+// refs slice is shared read-only across workers.
 func RunRefs(ctx context.Context, refs []trace.Ref, cfgs []stall.Config, workers int) ([]stall.Result, error) {
 	if len(cfgs) == 0 {
 		return nil, fmt.Errorf("simjob: no configurations")
 	}
-	out := make([]stall.Result, len(cfgs))
-	err := pool(ctx, len(cfgs), workers, func(i int) error {
-		res, err := stall.Run(cfgs[i], refs)
-		if err != nil {
-			return err
-		}
-		out[i] = res
-		return nil
+	return engine.Map(ctx, cfgs, workers, func(_ context.Context, cfg stall.Config) (stall.Result, error) {
+		return stall.Run(cfg, refs)
 	})
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
-}
-
-// pool runs work(0..n-1) on a bounded worker pool. Workers pull
-// indices from a channel and the caller's work writes into slot i, so
-// completion order never affects output order — the same slot-indexed
-// pattern as sweep.Run.
-func pool(ctx context.Context, n, workers int, work func(i int) error) error {
-	if workers <= 0 {
-		workers = runtime.NumCPU()
-	}
-	if workers > n {
-		workers = n
-	}
-
-	ctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-
-	jobs := make(chan int)
-	var (
-		wg       sync.WaitGroup
-		errOnce  sync.Once
-		firstErr error
-	)
-	fail := func(err error) {
-		errOnce.Do(func() { firstErr = err })
-		cancel()
-	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				if ctx.Err() != nil {
-					return
-				}
-				if err := work(i); err != nil {
-					fail(err)
-					return
-				}
-			}
-		}()
-	}
-feed:
-	for i := 0; i < n; i++ {
-		select {
-		case jobs <- i:
-		case <-ctx.Done():
-			break feed
-		}
-	}
-	close(jobs)
-	wg.Wait()
-	if firstErr != nil {
-		return firstErr
-	}
-	return ctx.Err()
 }

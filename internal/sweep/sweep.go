@@ -2,17 +2,15 @@ package sweep
 
 import (
 	"context"
-	"encoding/csv"
 	"fmt"
 	"io"
-	"runtime"
 	"strconv"
 	"strings"
-	"sync"
 
 	"tradeoff/internal/area"
 	"tradeoff/internal/cache"
 	"tradeoff/internal/core"
+	"tradeoff/internal/engine"
 	"tradeoff/internal/missratio"
 	"tradeoff/internal/trace"
 )
@@ -37,10 +35,10 @@ type point struct {
 	cacheKB, line, busBits int
 }
 
-// Run evaluates the whole design space on a bounded worker pool and
-// returns the designs in enumeration order (cache size outermost, bus
-// width innermost) with Pareto flags set — byte-for-byte the order a
-// serial sweep produces. workers <= 0 selects runtime.NumCPU(). The
+// Run evaluates the whole design space on the shared engine.Map pool
+// and returns the designs in enumeration order (cache size outermost,
+// bus width innermost) with Pareto flags set — byte-for-byte the order
+// a serial sweep produces. workers <= 0 selects runtime.NumCPU(). The
 // context cancels in-flight evaluation: a disconnected HTTP client or
 // an interrupted CLI stops the pool early with ctx.Err().
 func Run(ctx context.Context, cfg Config, workers int) ([]Design, error) {
@@ -68,60 +66,10 @@ func Run(ctx context.Context, cfg Config, workers int) ([]Design, error) {
 		return nil, fmt.Errorf("sweep: empty design space (every line < 2D?)")
 	}
 
-	if workers <= 0 {
-		workers = runtime.NumCPU()
-	}
-	if workers > len(points) {
-		workers = len(points)
-	}
-
-	ctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-
-	// Workers pull indices from jobs and write to their slot in out, so
-	// completion order never affects output order.
-	out := make([]Design, len(points))
-	jobs := make(chan int)
-	var (
-		wg       sync.WaitGroup
-		errOnce  sync.Once
-		firstErr error
-	)
-	fail := func(err error) {
-		errOnce.Do(func() { firstErr = err })
-		cancel()
-	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				if ctx.Err() != nil {
-					return
-				}
-				d, err := evaluate(cfg, hit, points[i])
-				if err != nil {
-					fail(err)
-					return
-				}
-				out[i] = d
-			}
-		}()
-	}
-feed:
-	for i := range points {
-		select {
-		case jobs <- i:
-		case <-ctx.Done():
-			break feed
-		}
-	}
-	close(jobs)
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	if err := ctx.Err(); err != nil {
+	out, err := engine.Map(ctx, points, workers, func(_ context.Context, p point) (Design, error) {
+		return evaluate(cfg, hit, p)
+	})
+	if err != nil {
 		return nil, err
 	}
 	MarkPareto(out)
@@ -221,13 +169,10 @@ func ParetoCount(ds []Design) int {
 // slice order, with the exact column set and float formatting the
 // original serial cmd/sweep produced.
 func WriteCSV(w io.Writer, ds []Design) error {
-	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"cache_kb", "line_bytes", "bus_bits", "hit_ratio", "delay_per_ref", "area_rbe", "pins", "pareto"}); err != nil {
-		return err
-	}
-	for i := range ds {
+	header := []string{"cache_kb", "line_bytes", "bus_bits", "hit_ratio", "delay_per_ref", "area_rbe", "pins", "pareto"}
+	return engine.WriteCSV(w, header, len(ds), func(i int) []string {
 		d := &ds[i]
-		rec := []string{
+		return []string{
 			strconv.Itoa(d.CacheKB), strconv.Itoa(d.LineBytes), strconv.Itoa(d.BusBits),
 			strconv.FormatFloat(d.HitRatio, 'f', 5, 64),
 			strconv.FormatFloat(d.Delay, 'f', 4, 64),
@@ -235,10 +180,5 @@ func WriteCSV(w io.Writer, ds []Design) error {
 			strconv.Itoa(d.Pins),
 			strconv.FormatBool(d.Pareto),
 		}
-		if err := cw.Write(rec); err != nil {
-			return err
-		}
-	}
-	cw.Flush()
-	return cw.Error()
+	})
 }
