@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short race bench bench-smoke bench-stall figures figures-fast report examples serve clean
+.PHONY: all build vet lint test test-short race bench bench-smoke bench-stall trace-smoke figures figures-fast report examples serve clean
 
 all: build lint test race
 
@@ -52,6 +52,16 @@ bench-smoke:
 # Back-compat alias for the stall-sweep half of bench-smoke.
 bench-stall:
 	$(GO) test -run=NONE -bench='BenchmarkStallSweep' -benchtime=1x ./internal/simjob
+
+# Smoke-run the span exporter: sweep the example design space with
+# -trace and validate the resulting Chrome trace_event JSON with
+# cmd/tracecheck (well-formed array, one span per evaluated point; the
+# example grid has 30). CI runs this non-blocking, like bench-smoke.
+trace-smoke:
+	mkdir -p out
+	$(GO) run ./cmd/sweep -example > out/trace-smoke-space.json
+	$(GO) run ./cmd/sweep -config out/trace-smoke-space.json -o out/trace-smoke.csv -trace out/trace-smoke.json
+	$(GO) run ./cmd/tracecheck -min 30 out/trace-smoke.json
 
 # Regenerate every paper artifact into out/ (full scale; minutes).
 figures:

@@ -7,17 +7,23 @@
 // Usage:
 //
 //	cachesim [-program nasa7] [-refs 400000] [-seed 1]
-//	         [-trace file [-dinero]]
+//	         [-replay file [-dinero]]
 //	         [-size 8192] [-line 32] [-assoc 2] [-write allocate|around]
 //	         [-feature FS|BL|BNL1|BNL2|BNL3|NB] [-beta 10] [-bus 4]
-//	         [-wbuf 0] [-workers 0]
+//	         [-wbuf 0] [-workers 0] [-trace out.json]
 //
 // -feature also accepts a comma-separated list or "all"; the listed
 // features replay concurrently on a simjob worker pool (-workers) over
 // one shared trace and report as a comparison table.
 //
-// Trace files use cmd/tracegen's text format (instr addr size R|W), or
-// the classic Dinero format (label hex-address) with -dinero.
+// Replay files use cmd/tracegen's text format (instr addr size R|W),
+// or the classic Dinero format (label hex-address) with -dinero.
+// (Before the observability work this flag was called -trace; it was
+// renamed so -trace means the same thing on every CLI.)
+//
+// -trace writes a Chrome trace_event JSON profile of the run (one
+// "sim_feature" span per replayed feature, laned by worker slot) —
+// load it at chrome://tracing or https://ui.perfetto.dev.
 package main
 
 import (
@@ -29,6 +35,7 @@ import (
 
 	"tradeoff/internal/cache"
 	"tradeoff/internal/memory"
+	"tradeoff/internal/obs"
 	"tradeoff/internal/simjob"
 	"tradeoff/internal/stall"
 	"tradeoff/internal/trace"
@@ -37,7 +44,7 @@ import (
 func main() {
 	var (
 		program = flag.String("program", "nasa7", "workload model: nasa7, swm256, wave5, ear, doduc, hydro2d")
-		tfile   = flag.String("trace", "", "replay a trace file instead of a workload model (tracegen format, or Dinero with -dinero)")
+		tfile   = flag.String("replay", "", "replay a trace file instead of a workload model (tracegen format, or Dinero with -dinero)")
 		dinero  = flag.Bool("dinero", false, "treat -trace as classic Dinero format (label hex-address)")
 		refs    = flag.Int("refs", 400_000, "memory references to replay")
 		seed    = flag.Uint64("seed", 1, "trace seed")
@@ -50,10 +57,11 @@ func main() {
 		bus     = flag.Int("bus", 4, "bus width in bytes")
 		wdepth  = flag.Int("wbuf", 0, "write buffer depth (0 = none)")
 		workers = flag.Int("workers", 0, "worker pool size for multi-feature replay (0 = all CPUs)")
+		tpath   = flag.String("trace", "", "write a Chrome trace_event JSON profile of the run")
 	)
 	flag.Parse()
 	if err := run(input{program: *program, traceFile: *tfile, dinero: *dinero},
-		*refs, *seed, *size, *line, *assoc, *write, *feature, *beta, *bus, *wdepth, *workers); err != nil {
+		*refs, *seed, *size, *line, *assoc, *write, *feature, *beta, *bus, *wdepth, *workers, *tpath); err != nil {
 		fmt.Fprintln(os.Stderr, "cachesim:", err)
 		os.Exit(1)
 	}
@@ -103,7 +111,7 @@ func (in input) name() string {
 	return in.program
 }
 
-func run(in input, nrefs int, seed uint64, size, line, assoc int, write, feature string, beta int64, bus, wdepth, workers int) error {
+func run(in input, nrefs int, seed uint64, size, line, assoc int, write, feature string, beta int64, bus, wdepth, workers int, tracePath string) error {
 	var wp cache.WriteMissPolicy
 	switch write {
 	case "allocate":
@@ -119,6 +127,19 @@ func run(in input, nrefs int, seed uint64, size, line, assoc int, write, feature
 		return err
 	}
 
+	ctx := context.Background()
+	var tracer *obs.Tracer
+	if tracePath != "" {
+		tracer = obs.NewTracer()
+		ctx = obs.WithTracer(ctx, tracer)
+	}
+	writeTrace := func() error {
+		if tracer == nil {
+			return nil
+		}
+		return tracer.WriteFile(tracePath)
+	}
+
 	if feature == "" {
 		c, err := cache.New(ccfg)
 		if err != nil {
@@ -131,7 +152,7 @@ func run(in input, nrefs int, seed uint64, size, line, assoc int, write, feature
 		fmt.Printf("R:          %d bytes (Λm via Eq.1 = %d)\n", p.R, p.Misses)
 		fmt.Printf("W:          %d write-around misses\n", p.W)
 		fmt.Printf("alpha:      %.3f (paper's analytic default: 0.5)\n", p.Alpha)
-		return nil
+		return writeTrace() // empty but well-formed: no replay pool ran
 	}
 
 	feats, err := parseFeatures(feature)
@@ -147,8 +168,11 @@ func run(in input, nrefs int, seed uint64, size, line, assoc int, write, feature
 			WriteBufferDepth: wdepth,
 		}
 	}
-	results, err := simjob.RunRefs(context.Background(), refs, cfgs, workers)
+	results, err := simjob.RunRefs(ctx, refs, cfgs, workers)
 	if err != nil {
+		return err
+	}
+	if err := writeTrace(); err != nil {
 		return err
 	}
 

@@ -1,35 +1,36 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"testing"
 )
 
 func TestRunProfileMode(t *testing.T) {
-	if err := run(input{program: "swm256"}, 20000, 1, 8<<10, 32, 2, "allocate", "", 10, 4, 0, 0); err != nil {
+	if err := run(input{program: "swm256"}, 20000, 1, 8<<10, 32, 2, "allocate", "", 10, 4, 0, 0, ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunStallMode(t *testing.T) {
 	for _, f := range []string{"FS", "BL", "BNL1", "BNL2", "BNL3", "NB"} {
-		if err := run(input{program: "ear"}, 10000, 1, 8<<10, 32, 2, "around", f, 5, 4, 2, 0); err != nil {
+		if err := run(input{program: "ear"}, 10000, 1, 8<<10, 32, 2, "around", f, 5, 4, 2, 0, ""); err != nil {
 			t.Fatalf("%s: %v", f, err)
 		}
 	}
 }
 
 func TestRunRejectsBadInputs(t *testing.T) {
-	if err := run(input{program: "nope"}, 100, 1, 8<<10, 32, 2, "allocate", "", 10, 4, 0, 0); err == nil {
+	if err := run(input{program: "nope"}, 100, 1, 8<<10, 32, 2, "allocate", "", 10, 4, 0, 0, ""); err == nil {
 		t.Fatal("unknown program accepted")
 	}
-	if err := run(input{program: "ear"}, 100, 1, 8<<10, 32, 2, "sideways", "", 10, 4, 0, 0); err == nil {
+	if err := run(input{program: "ear"}, 100, 1, 8<<10, 32, 2, "sideways", "", 10, 4, 0, 0, ""); err == nil {
 		t.Fatal("unknown write policy accepted")
 	}
-	if err := run(input{program: "ear"}, 100, 1, 8<<10, 32, 2, "allocate", "WARP", 10, 4, 0, 0); err == nil {
+	if err := run(input{program: "ear"}, 100, 1, 8<<10, 32, 2, "allocate", "WARP", 10, 4, 0, 0, ""); err == nil {
 		t.Fatal("unknown feature accepted")
 	}
-	if err := run(input{program: "ear"}, 100, 1, 999, 32, 2, "allocate", "", 10, 4, 0, 0); err == nil {
+	if err := run(input{program: "ear"}, 100, 1, 999, 32, 2, "allocate", "", 10, 4, 0, 0, ""); err == nil {
 		t.Fatal("invalid cache size accepted")
 	}
 }
@@ -40,22 +41,69 @@ func TestRunTraceFile(t *testing.T) {
 	if err := os.WriteFile(native, []byte("0 0x1000 4 R\n3 0x1020 4 W\n7 0x1000 4 R\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(input{traceFile: native}, 100, 1, 8<<10, 32, 2, "allocate", "", 10, 4, 0, 0); err != nil {
+	if err := run(input{traceFile: native}, 100, 1, 8<<10, 32, 2, "allocate", "", 10, 4, 0, 0, ""); err != nil {
 		t.Fatal(err)
 	}
 	din := dir + "/t.din"
 	if err := os.WriteFile(din, []byte("0 1000\n1 1004\n2 400\n0 2000\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(input{traceFile: din, dinero: true}, 100, 1, 8<<10, 32, 2, "allocate", "BNL3", 10, 4, 0, 0); err != nil {
+	if err := run(input{traceFile: din, dinero: true}, 100, 1, 8<<10, 32, 2, "allocate", "BNL3", 10, 4, 0, 0, ""); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(input{traceFile: dir + "/missing"}, 100, 1, 8<<10, 32, 2, "allocate", "", 10, 4, 0, 0); err == nil {
+	if err := run(input{traceFile: dir + "/missing"}, 100, 1, 8<<10, 32, 2, "allocate", "", 10, 4, 0, 0, ""); err == nil {
 		t.Fatal("missing trace file accepted")
 	}
-	if err := run(input{traceFile: din}, 100, 1, 8<<10, 32, 2, "allocate", "", 10, 4, 0, 0); err == nil {
+	if err := run(input{traceFile: din}, 100, 1, 8<<10, 32, 2, "allocate", "", 10, 4, 0, 0, ""); err == nil {
 		t.Fatal("dinero file parsed as native format")
 	}
+}
+
+// TestRunWritesTrace checks -trace: a multi-feature replay records one
+// "sim_feature" span per feature; a profile-only run still writes a
+// well-formed (empty) event array.
+func TestRunWritesTrace(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := dir + "/trace.json"
+	if err := run(input{program: "ear"}, 5000, 1, 8<<10, 32, 2, "allocate", "FS,BNL3", 10, 4, 0, 2, tracePath); err != nil {
+		t.Fatal(err)
+	}
+	events := readTrace(t, tracePath)
+	if len(events) != 2 {
+		t.Fatalf("trace spans = %d, want 2 (one per feature)", len(events))
+	}
+	for _, ev := range events {
+		if ev.Name != "sim_feature" || ev.Ph != "X" {
+			t.Fatalf("unexpected event %+v", ev)
+		}
+	}
+
+	empty := dir + "/empty.json"
+	if err := run(input{program: "ear"}, 1000, 1, 8<<10, 32, 2, "allocate", "", 10, 4, 0, 0, empty); err != nil {
+		t.Fatal(err)
+	}
+	if events := readTrace(t, empty); len(events) != 0 {
+		t.Fatalf("profile-only trace has %d spans, want 0", len(events))
+	}
+}
+
+func readTrace(t *testing.T, path string) []struct {
+	Name string `json:"name"`
+	Ph   string `json:"ph"`
+} {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []struct {
+		Name string `json:"name"`
+		Ph   string `json:"ph"`
+	}
+	if err := json.Unmarshal(data, &events); err != nil {
+		t.Fatalf("trace not a JSON event array: %v\n%s", err, data)
+	}
+	return events
 }
 
 func TestInputTruncatesToRefs(t *testing.T) {
@@ -76,13 +124,13 @@ func TestInputTruncatesToRefs(t *testing.T) {
 func TestRunMultiFeature(t *testing.T) {
 	// A comma list and "all" replay every feature over one shared trace
 	// on the pool and render the comparison table.
-	if err := run(input{program: "ear"}, 5000, 1, 8<<10, 32, 2, "allocate", "FS,BNL3", 10, 4, 0, 2); err != nil {
+	if err := run(input{program: "ear"}, 5000, 1, 8<<10, 32, 2, "allocate", "FS,BNL3", 10, 4, 0, 2, ""); err != nil {
 		t.Fatalf("feature list: %v", err)
 	}
-	if err := run(input{program: "ear"}, 5000, 1, 8<<10, 32, 2, "allocate", "all", 10, 4, 0, 0); err != nil {
+	if err := run(input{program: "ear"}, 5000, 1, 8<<10, 32, 2, "allocate", "all", 10, 4, 0, 0, ""); err != nil {
 		t.Fatalf("feature all: %v", err)
 	}
-	if err := run(input{program: "ear"}, 100, 1, 8<<10, 32, 2, "allocate", "FS,WARP", 10, 4, 0, 0); err == nil {
+	if err := run(input{program: "ear"}, 100, 1, 8<<10, 32, 2, "allocate", "FS,WARP", 10, 4, 0, 0, ""); err == nil {
 		t.Fatal("bad feature in list accepted")
 	}
 }

@@ -4,20 +4,27 @@
 // Usage:
 //
 //	figures [-out dir] [-experiment name] [-fast] [-seed n] [-workers 0] [-print]
+//	        [-trace out.json]
 //
 // Experiments are named after the paper artifact they reproduce
 // (table2, table3, figure1 ... figure6, example1, ranking, crossover,
 // limits); "all" runs everything. Outputs land in -out as
 // <name>.txt and <name>.csv.
+//
+// -trace writes a Chrome trace_event JSON profile of the run (one
+// "experiment" span per runner, laned by worker slot) — load it at
+// chrome://tracing or https://ui.perfetto.dev.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 
 	"tradeoff/internal/experiments"
+	"tradeoff/internal/obs"
 )
 
 func main() {
@@ -31,6 +38,7 @@ func main() {
 		list    = flag.Bool("list", false, "list experiments and exit")
 		svg     = flag.Bool("svg", true, "also write .svg renderings of charts")
 		html    = flag.Bool("html", true, "also write an index.html artifact browser")
+		tpath   = flag.String("trace", "", "write a Chrome trace_event JSON profile of the run")
 	)
 	flag.Parse()
 
@@ -40,7 +48,7 @@ func main() {
 		}
 		return
 	}
-	opts := outputs{dir: *out, print: *print, svg: *svg, html: *html}
+	opts := outputs{dir: *out, print: *print, svg: *svg, html: *html, trace: *tpath}
 	if err := run(opts, *name, experiments.Options{Fast: *fast, Seed: *seed, Workers: *workers}); err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(1)
@@ -53,12 +61,24 @@ type outputs struct {
 	print bool
 	svg   bool
 	html  bool
+	trace string // Chrome trace_event JSON profile path ("" = off)
 }
 
 func run(out outputs, name string, opts experiments.Options) error {
-	arts, err := experiments.Run(name, opts)
+	ctx := context.Background()
+	var tracer *obs.Tracer
+	if out.trace != "" {
+		tracer = obs.NewTracer()
+		ctx = obs.WithTracer(ctx, tracer)
+	}
+	arts, err := experiments.RunContext(ctx, name, opts)
 	if err != nil {
 		return err
+	}
+	if tracer != nil {
+		if err := tracer.WriteFile(out.trace); err != nil {
+			return err
+		}
 	}
 	if err := os.MkdirAll(out.dir, 0o755); err != nil {
 		return err

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -8,6 +9,33 @@ import (
 
 	"tradeoff/internal/experiments"
 )
+
+// TestRunWritesTrace checks -trace: one "experiment" span per runner.
+func TestRunWritesTrace(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	if err := run(outputs{dir: dir, trace: tracePath}, "limits", experiments.Options{Fast: true}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		Args map[string]any `json:"args"`
+	}
+	if err := json.Unmarshal(data, &events); err != nil {
+		t.Fatalf("trace not a JSON event array: %v", err)
+	}
+	if len(events) != 1 {
+		t.Fatalf("trace spans = %d, want 1 (one experiment ran)", len(events))
+	}
+	if events[0].Name != "experiment" || events[0].Ph != "X" || events[0].Args["name"] != "limits" {
+		t.Fatalf("unexpected event %+v", events[0])
+	}
+}
 
 func TestRunWritesArtifacts(t *testing.T) {
 	dir := t.TempDir()

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	sweep -config space.json [-o designs.csv] [-workers N]
+//	sweep -config space.json [-o designs.csv] [-workers N] [-trace out.json]
 //	sweep -example          # print a commented example configuration
 //
 // Hit ratios come either from the calibrated design-target surface
@@ -16,6 +16,10 @@
 // (default runtime.NumCPU(); -workers 1 forces a serial sweep). Output
 // ordering is deterministic regardless of parallelism. The same engine
 // backs the tradeoffd HTTP service.
+//
+// -trace writes a Chrome trace_event JSON profile of the run (one
+// "sweep_point" span per evaluated design, laned by worker slot) —
+// load it at chrome://tracing or https://ui.perfetto.dev.
 package main
 
 import (
@@ -26,6 +30,7 @@ import (
 	"os"
 	"os/signal"
 
+	"tradeoff/internal/obs"
 	"tradeoff/internal/sweep"
 )
 
@@ -35,6 +40,7 @@ func main() {
 		out        = flag.String("o", "-", "output CSV ('-' = stdout)")
 		workers    = flag.Int("workers", 0, "worker pool size (0 = all CPUs, 1 = serial)")
 		example    = flag.Bool("example", false, "print an example configuration and exit")
+		tracePath  = flag.String("trace", "", "write a Chrome trace_event JSON profile of the run")
 	)
 	flag.Parse()
 	if *example {
@@ -47,13 +53,13 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	if err := run(ctx, *configPath, *out, *workers); err != nil {
+	if err := run(ctx, *configPath, *out, *workers, *tracePath); err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, configPath, outPath string, workers int) error {
+func run(ctx context.Context, configPath, outPath string, workers int, tracePath string) error {
 	data, err := os.ReadFile(configPath)
 	if err != nil {
 		return err
@@ -63,9 +69,19 @@ func run(ctx context.Context, configPath, outPath string, workers int) error {
 		return fmt.Errorf("%s: %w", configPath, err)
 	}
 
+	var tracer *obs.Tracer
+	if tracePath != "" {
+		tracer = obs.NewTracer()
+		ctx = obs.WithTracer(ctx, tracer)
+	}
 	designs, err := sweep.Run(ctx, cfg, workers)
 	if err != nil {
 		return err
+	}
+	if tracer != nil {
+		if err := tracer.WriteFile(tracePath); err != nil {
+			return err
+		}
 	}
 
 	var w io.Writer = os.Stdout

@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -22,7 +23,7 @@ func writeConfig(t *testing.T, body string) string {
 func TestRunModelSweep(t *testing.T) {
 	cfg := writeConfig(t, sweep.ExampleConfig)
 	out := filepath.Join(t.TempDir(), "designs.csv")
-	if err := run(context.Background(), cfg, out, 0); err != nil {
+	if err := run(context.Background(), cfg, out, 0, ""); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -49,6 +50,40 @@ func TestRunModelSweep(t *testing.T) {
 	}
 }
 
+// TestRunWritesTrace pins the acceptance criterion: -trace on the
+// default grid produces a well-formed trace_event JSON array with one
+// span per evaluated design point.
+func TestRunWritesTrace(t *testing.T) {
+	cfg := writeConfig(t, sweep.ExampleConfig)
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	if err := run(context.Background(), cfg, filepath.Join(dir, "d.csv"), 0, tracePath); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []struct {
+		Name string  `json:"name"`
+		Ph   string  `json:"ph"`
+		TS   float64 `json:"ts"`
+		Dur  float64 `json:"dur"`
+	}
+	if err := json.Unmarshal(data, &events); err != nil {
+		t.Fatalf("trace is not a JSON event array: %v", err)
+	}
+	// The example grid evaluates 30 designs (see TestRunModelSweep).
+	if len(events) != 30 {
+		t.Fatalf("trace spans = %d, want 30 (one per evaluated point)", len(events))
+	}
+	for _, ev := range events {
+		if ev.Name != "sweep_point" || ev.Ph != "X" {
+			t.Fatalf("unexpected event %+v", ev)
+		}
+	}
+}
+
 func TestRunSimSweep(t *testing.T) {
 	cfg := writeConfig(t, `{
 		"cache_kb": [8, 32], "line_bytes": [32], "bus_bits": [32],
@@ -56,7 +91,7 @@ func TestRunSimSweep(t *testing.T) {
 		"hit_source": "sim:zipf", "sim_refs": 30000
 	}`)
 	out := filepath.Join(t.TempDir(), "d.csv")
-	if err := run(context.Background(), cfg, out, 0); err != nil {
+	if err := run(context.Background(), cfg, out, 0, ""); err != nil {
 		t.Fatal(err)
 	}
 	data, _ := os.ReadFile(out)
@@ -81,11 +116,11 @@ func TestRunRejectsBadConfigs(t *testing.T) {
 	}
 	for i, body := range cases {
 		cfg := writeConfig(t, body)
-		if err := run(context.Background(), cfg, filepath.Join(t.TempDir(), "x.csv"), 0); err == nil {
+		if err := run(context.Background(), cfg, filepath.Join(t.TempDir(), "x.csv"), 0, ""); err == nil {
 			t.Errorf("bad config %d accepted", i)
 		}
 	}
-	if err := run(context.Background(), filepath.Join(t.TempDir(), "missing.json"), "-", 0); err == nil {
+	if err := run(context.Background(), filepath.Join(t.TempDir(), "missing.json"), "-", 0, ""); err == nil {
 		t.Error("missing config accepted")
 	}
 }
@@ -96,7 +131,7 @@ func TestRunSimUnknownWorkload(t *testing.T) {
 		"latency_ns": 1, "transfer_ns": 1, "cpu_ns": 1,
 		"hit_source": "sim:gcc"
 	}`)
-	if err := run(context.Background(), cfg, filepath.Join(t.TempDir(), "x.csv"), 0); err == nil {
+	if err := run(context.Background(), cfg, filepath.Join(t.TempDir(), "x.csv"), 0, ""); err == nil {
 		t.Fatal("unknown simulated workload accepted")
 	}
 }

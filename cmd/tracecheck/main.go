@@ -1,0 +1,75 @@
+// Command tracecheck validates a Chrome trace_event JSON file of the
+// kind cmd/sweep, cmd/cachesim and cmd/figures write with -trace: a
+// JSON array of complete ("X") events with non-negative timestamps and
+// durations. It is the load-bearing half of `make trace-smoke` — a CI
+// check that the exported profile actually loads.
+//
+// Usage:
+//
+//	tracecheck [-min 1] trace.json
+//
+// -min fails the check when the trace holds fewer spans, catching the
+// silently-empty-profile regression.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	minSpans := flag.Int("min", 1, "minimum span count the trace must hold")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-min N] trace.json")
+		os.Exit(2)
+	}
+	n, err := check(flag.Arg(0), *minSpans)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracecheck:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("tracecheck: %s ok (%d spans)\n", flag.Arg(0), n)
+}
+
+// event carries the trace_event fields the viewers require.
+type event struct {
+	Name string   `json:"name"`
+	Ph   string   `json:"ph"`
+	TS   *float64 `json:"ts"`
+	Dur  *float64 `json:"dur"`
+	PID  *int     `json:"pid"`
+	TID  *int     `json:"tid"`
+}
+
+// check validates the file and returns the span count.
+func check(path string, minSpans int) (int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var events []event
+	if err := json.Unmarshal(data, &events); err != nil {
+		return 0, fmt.Errorf("%s: not a trace_event JSON array: %w", path, err)
+	}
+	for i, ev := range events {
+		switch {
+		case ev.Name == "":
+			return 0, fmt.Errorf("%s: event %d has no name", path, i)
+		case ev.Ph != "X":
+			return 0, fmt.Errorf("%s: event %d (%s) has phase %q, want complete event \"X\"", path, i, ev.Name, ev.Ph)
+		case ev.TS == nil || *ev.TS < 0:
+			return 0, fmt.Errorf("%s: event %d (%s) has a missing or negative ts", path, i, ev.Name)
+		case ev.Dur == nil || *ev.Dur < 0:
+			return 0, fmt.Errorf("%s: event %d (%s) has a missing or negative dur", path, i, ev.Name)
+		case ev.PID == nil || ev.TID == nil:
+			return 0, fmt.Errorf("%s: event %d (%s) lacks pid/tid lanes", path, i, ev.Name)
+		}
+	}
+	if len(events) < minSpans {
+		return 0, fmt.Errorf("%s: %d spans, want at least %d", path, len(events), minSpans)
+	}
+	return len(events), nil
+}

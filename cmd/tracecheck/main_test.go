@@ -1,0 +1,50 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func write(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "t.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCheckAcceptsValidTrace(t *testing.T) {
+	p := write(t, `[
+{"name":"sweep_point","ph":"X","ts":0,"dur":12,"pid":1,"tid":0},
+{"name":"sweep_point","ph":"X","ts":5.5,"dur":3,"pid":1,"tid":1}
+]`)
+	n, err := check(p, 2)
+	if err != nil || n != 2 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+}
+
+func TestCheckRejectsBadTraces(t *testing.T) {
+	cases := map[string]string{
+		"not json":     `{`,
+		"not an array": `{"name":"x"}`,
+		"no name":      `[{"ph":"X","ts":0,"dur":1,"pid":1,"tid":0}]`,
+		"bad phase":    `[{"name":"a","ph":"B","ts":0,"dur":1,"pid":1,"tid":0}]`,
+		"no ts":        `[{"name":"a","ph":"X","dur":1,"pid":1,"tid":0}]`,
+		"negative dur": `[{"name":"a","ph":"X","ts":0,"dur":-1,"pid":1,"tid":0}]`,
+		"no lanes":     `[{"name":"a","ph":"X","ts":0,"dur":1}]`,
+	}
+	for label, body := range cases {
+		if _, err := check(write(t, body), 0); err == nil {
+			t.Errorf("%s: accepted", label)
+		}
+	}
+	if _, err := check(write(t, `[]`), 1); err == nil {
+		t.Error("empty trace passed -min 1")
+	}
+	if _, err := check(filepath.Join(t.TempDir(), "missing.json"), 0); err == nil {
+		t.Error("missing file accepted")
+	}
+}

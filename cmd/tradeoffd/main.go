@@ -7,6 +7,7 @@
 // Usage:
 //
 //	tradeoffd [-addr :8080] [-workers 0] [-cache 256] [-cache-mb 32] [-drain 10s]
+//	          [-log-level info] [-pprof]
 //
 // Sweeps run on the shared engine.Map worker pool and stall grids on
 // the internal/simjob replay pool, which materializes each workload
@@ -16,6 +17,12 @@
 // shutdown: the listener closes immediately, in-flight requests get
 // the drain timeout to finish, and a client that disconnects mid-sweep
 // cancels its workers via the request context.
+//
+// Every request gets a correlation ID (honored from X-Request-ID when
+// well-formed, generated otherwise), echoed in the response and in the
+// key=value access-log line on stderr; -log-level selects verbosity
+// (debug, info, warn, error). -pprof exposes net/http/pprof under
+// /debug/pprof/ — off by default since the profiles reveal internals.
 //
 // Examples:
 //
@@ -30,13 +37,13 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"tradeoff/internal/obs"
 	"tradeoff/internal/service"
 )
 
@@ -47,16 +54,26 @@ func main() {
 		entries = flag.Int("cache", 256, "response LRU capacity (entries)")
 		cacheMB = flag.Int64("cache-mb", 32, "response LRU capacity (MiB of response bytes)")
 		drain   = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+		level   = flag.String("log-level", "info", "log verbosity: debug, info, warn, error")
+		pprof   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
-	if err := run(*addr, *workers, *entries, *cacheMB<<20, *drain); err != nil {
+	if err := run(*addr, *workers, *entries, *cacheMB<<20, *drain, *level, *pprof); err != nil {
 		fmt.Fprintln(os.Stderr, "tradeoffd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, entries int, cacheBytes int64, drain time.Duration) error {
-	svc := service.New(service.Options{Workers: workers, CacheEntries: entries, CacheBytes: cacheBytes})
+func run(addr string, workers, entries int, cacheBytes int64, drain time.Duration, level string, pprof bool) error {
+	lv, err := obs.ParseLevel(level)
+	if err != nil {
+		return err
+	}
+	logger := obs.NewLogger(os.Stderr, lv)
+	svc := service.New(service.Options{
+		Workers: workers, CacheEntries: entries, CacheBytes: cacheBytes,
+		Logger: logger, Pprof: pprof,
+	})
 	srv := &http.Server{
 		Addr:              addr,
 		Handler:           svc.Handler(),
@@ -69,7 +86,7 @@ func run(addr string, workers, entries int, cacheBytes int64, drain time.Duratio
 	errc := make(chan error, 1)
 	//lint:ignore ctxflow the listener's lifetime is managed by srv.Shutdown below, not by ctx
 	go func() {
-		log.Printf("tradeoffd: listening on %s", addr)
+		logger.Info("listening", "addr", addr)
 		errc <- srv.ListenAndServe()
 	}()
 
@@ -79,7 +96,7 @@ func run(addr string, workers, entries int, cacheBytes int64, drain time.Duratio
 	case <-ctx.Done():
 	}
 
-	log.Printf("tradeoffd: shutting down (drain %s)", drain)
+	logger.Info("shutting down", "drain", drain.String())
 	//lint:ignore ctxflow the signal context is already canceled during drain; the timeout needs a fresh parent
 	drainCtx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()

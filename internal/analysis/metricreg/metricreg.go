@@ -12,6 +12,14 @@
 //     established (requests_total, cache_hits, latency_us_total, …);
 //     camelCase, dashes and dots would fracture the /metrics document
 //     into inconsistent dialects.
+//
+// The same two rules cover the internal/obs instruments: names passed
+// to obs.NewHistogram and obs.NewCounter feed the Prometheus
+// exposition (/metrics?format=prom), so they share the snake_case
+// scheme, and registering the same constant name at two call sites in
+// a package would fuse unrelated series into one — flagged in a
+// namespace separate from expvar's (an obs histogram may legitimately
+// share a name with a derived expvar key).
 package metricreg
 
 import (
@@ -20,6 +28,7 @@ import (
 	"go/token"
 	"go/types"
 	"regexp"
+	"strings"
 
 	"tradeoff/internal/analysis/lint"
 	"tradeoff/internal/analysis/typeutil"
@@ -28,7 +37,7 @@ import (
 // Analyzer is the metricreg check.
 var Analyzer = &lint.Analyzer{
 	Name: "metricreg",
-	Doc:  "flags expvar metric names registered more than once (a runtime panic) or diverging from the snake_case naming scheme of internal/service/metrics.go",
+	Doc:  "flags expvar and obs metric names registered more than once or diverging from the snake_case naming scheme of internal/service/metrics.go",
 	Run:  run,
 }
 
@@ -42,14 +51,33 @@ var registerFuncs = map[string]bool{
 	"NewString": true,
 }
 
+// obsRegisterFuncs are the internal/obs constructors that name an
+// instrument; the name becomes a Prometheus series, so duplicate
+// call-site registrations within a package fuse unrelated series.
+var obsRegisterFuncs = map[string]bool{
+	"NewHistogram": true,
+	"NewCounter":   true,
+}
+
 // metricNameRE is the metrics.go scheme: lower snake_case, starting
 // with a letter.
 var metricNameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
 
+// isObsPkg matches the instrument package by import-path suffix, so
+// the analyzer works both on the real tradeoff/internal/obs and on the
+// fixture stand-in package "obs" (the same convention typeutil's
+// IsNamedSuffix uses for stand-in types).
+func isObsPkg(path string) bool {
+	return path == "obs" || strings.HasSuffix(path, "/obs")
+}
+
 func run(pass *lint.Pass) error {
 	// Package-wide, file-order traversal keeps "first registration
-	// wins, later ones are flagged" deterministic.
+	// wins, later ones are flagged" deterministic. expvar and obs
+	// names live in separate namespaces: the service deliberately
+	// derives expvar keys from obs histograms.
 	seen := map[string]token.Pos{}
+	seenObs := map[string]token.Pos{}
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
@@ -57,12 +85,15 @@ func run(pass *lint.Pass) error {
 				return true
 			}
 			fn := typeutil.Callee(pass.TypesInfo, call)
-			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "expvar" {
+			if fn == nil || fn.Pkg() == nil {
 				return true
 			}
-			global := fn.Type().(*types.Signature).Recv() == nil && registerFuncs[fn.Name()]
-			mapSet := typeutil.IsNamed(recvType(fn), "expvar", "Map") && fn.Name() == "Set"
-			if !global && !mapSet {
+			pkgPath := fn.Pkg().Path()
+			noRecv := fn.Type().(*types.Signature).Recv() == nil
+			global := pkgPath == "expvar" && noRecv && registerFuncs[fn.Name()]
+			mapSet := pkgPath == "expvar" && typeutil.IsNamed(recvType(fn), "expvar", "Map") && fn.Name() == "Set"
+			obsReg := isObsPkg(pkgPath) && noRecv && obsRegisterFuncs[fn.Name()]
+			if !global && !mapSet && !obsReg {
 				return true
 			}
 			name, ok := constString(pass, call.Args[0])
@@ -72,11 +103,18 @@ func run(pass *lint.Pass) error {
 			if !metricNameRE.MatchString(name) {
 				pass.Reportf(call.Args[0].Pos(), "metric name %q is not snake_case; the /metrics scheme is ^[a-z][a-z0-9_]*$ (see internal/service/metrics.go)", name)
 			}
-			if global {
+			switch {
+			case global:
 				if first, dup := seen[name]; dup {
 					pass.Reportf(call.Args[0].Pos(), "expvar metric %q registered more than once (first at %s); expvar.Publish panics on duplicates", name, pass.Fset.Position(first))
 				} else {
 					seen[name] = call.Args[0].Pos()
+				}
+			case obsReg:
+				if first, dup := seenObs[name]; dup {
+					pass.Reportf(call.Args[0].Pos(), "obs metric %q registered more than once (first at %s); duplicate names fuse into one Prometheus series", name, pass.Fset.Position(first))
+				} else {
+					seenObs[name] = call.Args[0].Pos()
 				}
 			}
 			return true

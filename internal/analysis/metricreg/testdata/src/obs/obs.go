@@ -1,0 +1,20 @@
+// Package obs is a fixture stand-in for tradeoff/internal/obs: the
+// analyzer matches it by import-path suffix (see isObsPkg), so the
+// signatures matter and the bodies do not.
+package obs
+
+// Histogram stands in for obs.Histogram.
+type Histogram struct{ name string }
+
+// NewHistogram stands in for obs.NewHistogram.
+func NewHistogram(name string) *Histogram { return &Histogram{name: name} }
+
+// Observe is here so fixtures can exercise a method call that must
+// NOT count as a registration.
+func (h *Histogram) Observe(v int64) {}
+
+// Counter stands in for obs.Counter.
+type Counter struct{ name string }
+
+// NewCounter stands in for obs.NewCounter.
+func NewCounter(name string) *Counter { return &Counter{name: name} }

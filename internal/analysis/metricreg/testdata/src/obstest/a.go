@@ -1,0 +1,32 @@
+package obstest
+
+import (
+	"expvar"
+
+	"obs"
+)
+
+var (
+	evalHist  = obs.NewHistogram("engine_eval_duration")
+	queueHist = obs.NewHistogram("QueueWait")            // want `metric name "QueueWait" is not snake_case`
+	dupHist   = obs.NewHistogram("engine_eval_duration") // want `obs metric "engine_eval_duration" registered more than once`
+	hits      = obs.NewCounter("memo_hits")
+	dashes    = obs.NewCounter("memo-hits") // want `metric name "memo-hits" is not snake_case`
+	dupKind   = obs.NewCounter("memo_hits") // want `obs metric "memo_hits" registered more than once`
+)
+
+// The expvar and obs namespaces are separate: deriving an expvar key
+// from an obs histogram's name is the service's documented pattern.
+var shared = expvar.NewInt("engine_eval_duration")
+
+func dynamic(name string) {
+	obs.NewHistogram(name) // non-constant: out of scope
+	evalHist.Observe(1)    // method call, not a registration
+}
+
+func suppressed() {
+	//lint:ignore metricreg exercising the suppression path
+	obs.NewCounter("Legacy-Counter")
+}
+
+var _, _, _, _, _, _ = evalHist, queueHist, dupHist, dashes, dupKind, shared

@@ -8,12 +8,24 @@
 // they now all sit on engine, so pool semantics — deterministic
 // output order, first-error propagation, context cancellation — are
 // defined (and tested) exactly once.
+//
+// The engine is also where observability hooks live, so every
+// consumer gets them for free: when the context carries an
+// obs.Tracer, Map wraps each item in a span (one lane per worker
+// slot, queue-wait recorded as an arg) and Memo wraps each Do in a
+// span tagged hit / miss / shared; when it carries obs.EngineStats,
+// Map feeds the queue-wait and evaluation histograms and Memo the
+// flight-outcome counters. Without either, the only cost is a couple
+// of context lookups per call.
 package engine
 
 import (
 	"context"
 	"runtime"
 	"sync"
+	"time"
+
+	"tradeoff/internal/obs"
 )
 
 // Map applies fn to every item on a bounded worker pool and returns
@@ -37,6 +49,19 @@ func Map[T, R any](ctx context.Context, items []T, workers int, fn func(context.
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	// Observability: a Tracer in the context gets one span per item
+	// (lane = worker slot, queue wait as an arg); EngineStats gets the
+	// queue-wait and evaluation histograms fed. Both are nil-cheap.
+	tracer := obs.TracerFrom(ctx)
+	stats := obs.EngineStatsFrom(ctx)
+	instrumented := tracer != nil || stats != nil
+	var mapStart time.Time
+	var spanName string
+	if instrumented {
+		mapStart = time.Now()
+		spanName = obs.SpanName(ctx, "map")
+	}
+
 	// Workers pull indices from jobs and write to their slot in out, so
 	// completion order never affects output order.
 	out := make([]R, len(items))
@@ -52,20 +77,40 @@ func Map[T, R any](ctx context.Context, items []T, workers int, fn func(context.
 	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(slot int) {
 			defer wg.Done()
 			for i := range jobs {
 				if ctx.Err() != nil {
 					return
 				}
-				r, err := fn(ctx, items[i])
+				fctx := ctx
+				var picked time.Time
+				var span *obs.Span
+				if instrumented {
+					picked = time.Now()
+					wait := picked.Sub(mapStart)
+					if stats != nil {
+						stats.QueueWait.Observe(wait)
+					}
+					if tracer != nil {
+						fctx, span = obs.StartSpan(ctx, spanName)
+						span.SetTID(slot)
+						span.SetArg("index", i)
+						span.SetArg("queue_wait_us", wait.Microseconds())
+					}
+				}
+				r, err := fn(fctx, items[i])
+				span.End()
+				if stats != nil {
+					stats.Eval.Observe(time.Since(picked))
+				}
 				if err != nil {
 					fail(err)
 					return
 				}
 				out[i] = r
 			}
-		}()
+		}(w)
 	}
 feed:
 	for i := range items {

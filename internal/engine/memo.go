@@ -5,6 +5,8 @@ import (
 	"context"
 	"errors"
 	"sync"
+
+	"tradeoff/internal/obs"
 )
 
 // Memo is a string-keyed memoization cache with LRU eviction bounded
@@ -56,26 +58,63 @@ func NewMemo[V any](maxEntries int, maxBytes int64, size func(V) int64) *Memo[V]
 	}
 }
 
+// Memo.Do outcomes, recorded on spans and EngineStats counters.
+const (
+	outcomeHit    = "hit"    // served from the cache
+	outcomeShared = "shared" // joined another caller's in-flight computation
+	outcomeMiss   = "miss"   // computed by this call
+	outcomeCancel = "cancel" // caller's context ended while waiting
+)
+
 // Do returns the memoized value for key, computing it with fn on a
 // miss. The boolean reports whether the value was shared — served from
 // cache or from another caller's in-flight computation — versus
 // computed by this call. Identical concurrent keys run fn exactly
 // once.
+//
+// When the context carries an obs.Tracer, the whole Do — including
+// time spent waiting on another caller's flight — is one span with an
+// "outcome" arg; obs.EngineStats counters tally hits, misses and
+// shared flights.
 func (m *Memo[V]) Do(ctx context.Context, key string, fn func(context.Context) (V, error)) (V, bool, error) {
+	tracer, stats := obs.TracerFrom(ctx), obs.EngineStatsFrom(ctx)
+	if tracer == nil && stats == nil {
+		v, outcome, err := m.do(ctx, key, fn)
+		return v, outcome != outcomeMiss, err
+	}
+	ctx, span := obs.StartSpan(ctx, "memo")
+	v, outcome, err := m.do(ctx, key, fn)
+	span.SetArg("outcome", outcome)
+	span.End()
+	if stats != nil {
+		switch outcome {
+		case outcomeHit:
+			stats.MemoHit.Add(1)
+		case outcomeMiss:
+			stats.MemoMiss.Add(1)
+		case outcomeShared:
+			stats.MemoShared.Add(1)
+		}
+	}
+	return v, outcome != outcomeMiss, err
+}
+
+// do is Do without instrumentation; the string return is the outcome.
+func (m *Memo[V]) do(ctx context.Context, key string, fn func(context.Context) (V, error)) (V, string, error) {
 	for {
 		m.mu.Lock()
 		if el, ok := m.entries[key]; ok {
 			m.order.MoveToFront(el)
 			v := el.Value.(*memoEntry[V]).val
 			m.mu.Unlock()
-			return v, true, nil
+			return v, outcomeHit, nil
 		}
 		if f, inflight := m.flights[key]; inflight {
 			m.mu.Unlock()
 			select {
 			case <-f.done:
 				if f.err == nil {
-					return f.val, true, nil
+					return f.val, outcomeShared, nil
 				}
 				// The computing caller failed. If it was torn down by its
 				// own cancellation and we are still live, take over.
@@ -83,10 +122,10 @@ func (m *Memo[V]) Do(ctx context.Context, key string, fn func(context.Context) (
 					continue
 				}
 				var zero V
-				return zero, true, f.err
+				return zero, outcomeShared, f.err
 			case <-ctx.Done():
 				var zero V
-				return zero, true, ctx.Err()
+				return zero, outcomeCancel, ctx.Err()
 			}
 		}
 		f := &flight[V]{done: make(chan struct{})}
@@ -102,7 +141,7 @@ func (m *Memo[V]) Do(ctx context.Context, key string, fn func(context.Context) (
 		}
 		m.mu.Unlock()
 		close(f.done)
-		return f.val, false, f.err
+		return f.val, outcomeMiss, f.err
 	}
 }
 

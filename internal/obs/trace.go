@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// Tracer collects completed spans and exports them in the Chrome
+// trace_event format ("Trace Event Format", the JSON array of "X"
+// complete events chrome://tracing and Perfetto load directly).
+// Timestamps are microseconds relative to the tracer's creation.
+//
+// A Tracer is safe for concurrent use; spans from engine.Map workers
+// land in one shared event list.
+type Tracer struct {
+	epoch time.Time
+	now   func() time.Time // test hook; defaults to time.Now
+
+	mu     sync.Mutex
+	events []traceEvent
+}
+
+// traceEvent is one complete ("ph":"X") trace_event record. pid is
+// always 1 — one process — and tid maps onto engine worker slots, so
+// a trace renders as one lane per worker with nested spans.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`  // start, µs since tracer epoch
+	Dur  float64        `json:"dur"` // duration, µs
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// NewTracer returns an empty tracer whose clock starts now.
+func NewTracer() *Tracer {
+	t := &Tracer{now: time.Now}
+	t.epoch = t.now()
+	return t
+}
+
+// Span is one in-progress traced operation. The zero of the API is a
+// nil *Span: every method is a no-op on nil, so callers instrument
+// unconditionally and pay nothing when tracing is off.
+//
+// A Span is owned by the goroutine that started it; SetArg and End
+// must not race with each other.
+type Span struct {
+	tracer *Tracer
+	name   string
+	tid    int
+	start  time.Time
+	args   map[string]any
+	ended  bool
+}
+
+// StartSpan begins a span named name on the context's tracer and
+// returns a derived context carrying it, so child spans nest inside
+// it (they inherit its lane). Without a tracer it returns ctx and a
+// nil span, both safe to use.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	t := TracerFrom(ctx)
+	if t == nil {
+		return ctx, nil
+	}
+	s := &Span{tracer: t, name: name, start: t.now()}
+	if parent := CurrentSpan(ctx); parent != nil {
+		s.tid = parent.tid
+	}
+	return context.WithValue(ctx, spanKey, s), s
+}
+
+// SetTID moves the span onto lane tid — engine.Map pins each worker
+// slot to its own lane so traces render one row per worker.
+func (s *Span) SetTID(tid int) {
+	if s == nil {
+		return
+	}
+	s.tid = tid
+}
+
+// SetArg attaches a key/value to the span's trace_event args.
+func (s *Span) SetArg(key string, val any) {
+	if s == nil {
+		return
+	}
+	if s.args == nil {
+		s.args = make(map[string]any, 4)
+	}
+	s.args[key] = val
+}
+
+// End completes the span and records it. Calling End twice records
+// once.
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	t := s.tracer
+	end := t.now()
+	ev := traceEvent{
+		Name: s.name,
+		Ph:   "X",
+		TS:   float64(s.start.Sub(t.epoch).Nanoseconds()) / 1e3,
+		Dur:  float64(end.Sub(s.start).Nanoseconds()) / 1e3,
+		PID:  1,
+		TID:  s.tid,
+		Args: s.args,
+	}
+	t.mu.Lock()
+	t.events = append(t.events, ev)
+	t.mu.Unlock()
+}
+
+// Len returns the number of completed spans.
+func (t *Tracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// WriteJSON writes the completed spans as a trace_event JSON array,
+// one event per line so traces diff readably.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	t.mu.Lock()
+	events := make([]traceEvent, len(t.events))
+	copy(events, t.events)
+	t.mu.Unlock()
+
+	if _, err := io.WriteString(w, "[\n"); err != nil {
+		return err
+	}
+	for i, ev := range events {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		sep := ",\n"
+		if i == len(events)-1 {
+			sep = "\n"
+		}
+		if _, err := w.Write(append(data, sep...)); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "]\n")
+	return err
+}
+
+// WriteFile writes the trace_event JSON to path.
+func (t *Tracer) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteJSON(f); err != nil {
+		_ = f.Close() // the write error is the one worth reporting
+		return err
+	}
+	return f.Close()
+}

@@ -7,14 +7,18 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
-	"sync/atomic"
+	"sync"
 	"time"
+
+	"tradeoff/internal/obs"
 )
 
-// metrics holds the server's expvar counters. The vars are per-Server
-// (not published to the global expvar registry) so tests and embedders
-// can run several servers without name collisions; GET /metrics
-// renders them in expvar's JSON format.
+// metrics holds the server's counters. The vars are per-Server (not
+// published to the global expvar registry) so tests and embedders can
+// run several servers without name collisions. GET /metrics renders
+// them in expvar's JSON format; ?format=prom renders the same state
+// as Prometheus text exposition (see prom.go), where the request
+// duration histograms additionally report p50/p95/p99.
 type metrics struct {
 	requests    expvar.Int // requests accepted, all endpoints
 	errors      expvar.Int // responses with status >= 400
@@ -23,32 +27,62 @@ type metrics struct {
 	inFlight    expvar.Int // requests currently being served
 	endpoints   expvar.Map // per-endpoint requests/errors/latency/durations
 
+	// durations holds one obs histogram per endpoint — the single
+	// source for the duration_count / duration_ns_total /
+	// duration_ns_max expvar triple (derived views, see histVar) and
+	// the Prometheus duration summary with quantiles.
+	durationsMu sync.Mutex
+	durations   map[string]*obs.Histogram
+
+	// engine carries the engine-level instruments (queue wait,
+	// evaluation time, memo outcomes); the request middleware threads
+	// it into every request context so engine.Map and engine.Memo
+	// record into it. Wired by New.
+	engine *obs.EngineStats
+
 	// cacheBytes reads the response memo's live byte total — the gauge
 	// behind the byte-bounded LRU. Wired by New.
 	cacheBytes func() int64
 }
 
 func newMetrics() *metrics {
-	m := &metrics{}
+	m := &metrics{durations: make(map[string]*obs.Histogram)}
 	m.endpoints.Init()
 	return m
 }
 
+// duration returns (creating on first use) the endpoint's request
+// duration histogram.
+func (m *metrics) duration(name string) *obs.Histogram {
+	m.durationsMu.Lock()
+	defer m.durationsMu.Unlock()
+	h, ok := m.durations[name]
+	if !ok {
+		h = obs.NewHistogram("request_duration")
+		m.durations[name] = h
+	}
+	return h
+}
+
 // endpointVars returns (creating on first use) the per-endpoint
-// counter map: requests, errors, evaluations, latency_us_total and the
-// request-duration triple (count / total ns / max ns).
+// counter map: requests, errors and evaluations as counters, plus
+// latency_us_total and the request-duration triple (count / total ns
+// / max ns) as views derived from the endpoint's duration histogram —
+// the same JSON keys the triple always had, now backed by one
+// instrument that can also estimate quantiles.
 func (m *metrics) endpointVars(name string) *expvar.Map {
 	if v := m.endpoints.Get(name); v != nil {
 		return v.(*expvar.Map)
 	}
+	h := m.duration(name)
 	em := new(expvar.Map).Init()
 	em.Set("requests", new(expvar.Int))
 	em.Set("errors", new(expvar.Int))
 	em.Set("evaluations", new(expvar.Int))
-	em.Set("latency_us_total", new(expvar.Int))
-	em.Set("duration_count", new(expvar.Int))
-	em.Set("duration_ns_total", new(expvar.Int))
-	em.Set("duration_ns_max", new(maxInt))
+	em.Set("latency_us_total", histVar{h, func(h *obs.Histogram) int64 { return h.Sum().Microseconds() }})
+	em.Set("duration_count", histVar{h, (*obs.Histogram).Count})
+	em.Set("duration_ns_total", histVar{h, func(h *obs.Histogram) int64 { return h.Sum().Nanoseconds() }})
+	em.Set("duration_ns_max", histVar{h, func(h *obs.Histogram) int64 { return h.Max().Nanoseconds() }})
 	m.endpoints.Set(name, em)
 	return m.endpoints.Get(name).(*expvar.Map)
 }
@@ -61,22 +95,22 @@ func (m *metrics) evaluations(name string) *expvar.Int {
 	return m.endpointVars(name).Get("evaluations").(*expvar.Int)
 }
 
-// maxInt is an expvar gauge holding the maximum observed value.
-type maxInt struct{ v atomic.Int64 }
-
-// Observe raises the gauge to n if n is the new maximum.
-func (m *maxInt) Observe(n int64) {
-	for {
-		cur := m.v.Load()
-		if n <= cur || m.v.CompareAndSwap(cur, n) {
-			return
-		}
-	}
+// histVar renders one scalar view of a histogram as an expvar.Var, so
+// the expvar JSON document keeps its historical duration keys while
+// the histogram is the only thing instrument updates.
+type histVar struct {
+	h *obs.Histogram
+	f func(*obs.Histogram) int64
 }
 
-func (m *maxInt) String() string { return strconv.FormatInt(m.v.Load(), 10) }
+func (v histVar) String() string { return strconv.FormatInt(v.f(v.h), 10) }
 
-// statusWriter captures the response status for error accounting.
+// statusWriter captures the response status for error accounting
+// while keeping the wrapped writer's optional interfaces reachable:
+// Unwrap lets http.ResponseController (and through it the net/http
+// internals) find Flusher, Hijacker and friends on the underlying
+// writer, and Flush forwards directly so streaming handlers behind
+// instrument still flush.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
@@ -87,38 +121,68 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps an endpoint handler with request, error, in-flight,
-// latency and request-duration accounting under the given endpoint
-// name — the one place every route's timing flows through.
+// Unwrap exposes the underlying writer to http.ResponseController,
+// restoring every optional interface (Flusher, Hijacker, deadlines,
+// io.ReaderFrom sendfile paths) the wrapper would otherwise swallow.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// Flush implements http.Flusher by forwarding through
+// ResponseController, which follows Unwrap chains; a writer that
+// cannot flush makes this a no-op rather than an error.
+func (w *statusWriter) Flush() {
+	_ = http.NewResponseController(w.ResponseWriter).Flush()
+}
+
+// instrument wraps an endpoint handler with request, error, in-flight
+// and duration accounting under the given endpoint name — the one
+// place every route's timing flows through. A panicking handler does
+// not distort the gauges: the deferred accounting restores in_flight,
+// counts the request as a 500 and re-panics for the server's own
+// recovery.
 func (m *metrics) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 	ep := m.endpointVars(name)
+	dur := m.duration(name)
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		m.requests.Add(1)
 		m.inFlight.Add(1)
-		defer m.inFlight.Add(-1)
 		ep.Get("requests").(*expvar.Int).Add(1)
 
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		defer func() {
+			p := recover()
+			m.inFlight.Add(-1)
+			status := sw.status
+			if p != nil {
+				status = http.StatusInternalServerError
+			}
+			if status >= 400 {
+				m.errors.Add(1)
+				ep.Get("errors").(*expvar.Int).Add(1)
+			}
+			dur.Observe(time.Since(start))
+			if p != nil {
+				panic(p)
+			}
+		}()
 		h(sw, r)
-
-		if sw.status >= 400 {
-			m.errors.Add(1)
-			ep.Get("errors").(*expvar.Int).Add(1)
-		}
-		d := time.Since(start)
-		ep.Get("latency_us_total").(*expvar.Int).Add(d.Microseconds())
-		ep.Get("duration_count").(*expvar.Int).Add(1)
-		ep.Get("duration_ns_total").(*expvar.Int).Add(d.Nanoseconds())
-		ep.Get("duration_ns_max").(*maxInt).Observe(d.Nanoseconds())
 	}
 }
 
-// serveHTTP renders every counter as one JSON document, mirroring
-// expvar.Handler()'s output format but scoped to this server.
+// serveHTTP renders the counters: expvar-style JSON by default,
+// Prometheus text exposition with ?format=prom.
 func (m *metrics) serveHTTP(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	switch f := r.URL.Query().Get("format"); f {
+	case "", "json":
+	case "prom":
+		m.servePrometheus(w)
+		return
+	default:
+		http.Error(w, fmt.Sprintf("unknown format %q (want json or prom)", f), http.StatusBadRequest)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")

@@ -1,0 +1,120 @@
+package service
+
+import (
+	"bytes"
+	"expvar"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"tradeoff/internal/obs"
+)
+
+// promQuantiles are the summary quantiles every duration histogram
+// exposes — the p50/p95/p99 the paper-style accounting wants for its
+// own serving path.
+var promQuantiles = []float64{0.5, 0.95, 0.99}
+
+// servePrometheus renders the same metric state as the expvar JSON
+// document in Prometheus text exposition format (version 0.0.4):
+// scalar counters and gauges, per-endpoint labeled counters, and the
+// duration histograms as summaries with p50/p95/p99. Output ordering
+// is deterministic (endpoints sorted), so a fixed metric state renders
+// fixed bytes — pinned by a golden test.
+func (m *metrics) servePrometheus(w http.ResponseWriter) {
+	var buf bytes.Buffer
+
+	promCounter(&buf, "tradeoffd_requests_total", "Requests accepted across all endpoints.", m.requests.Value())
+	promCounter(&buf, "tradeoffd_errors_total", "Responses with status >= 400.", m.errors.Value())
+	promCounter(&buf, "tradeoffd_cache_hits", "Response-memo hits (cache or shared flight).", m.cacheHits.Value())
+	promCounter(&buf, "tradeoffd_cache_misses", "Response-memo misses.", m.cacheMisses.Value())
+	var cacheBytes int64
+	if m.cacheBytes != nil {
+		cacheBytes = m.cacheBytes()
+	}
+	promGauge(&buf, "tradeoffd_cache_bytes", "Bytes held by the response memo.", cacheBytes)
+	promGauge(&buf, "tradeoffd_in_flight", "Requests currently being served.", m.inFlight.Value())
+
+	// Per-endpoint counters, one labeled series per endpoint in sorted
+	// order (expvar.Map.Do iterates sorted keys).
+	for _, counter := range []string{"requests", "errors", "evaluations"} {
+		fmt.Fprintf(&buf, "# TYPE tradeoffd_endpoint_%s counter\n", counter)
+		m.endpoints.Do(func(kv expvar.KeyValue) {
+			v := kv.Value.(*expvar.Map).Get(counter).(*expvar.Int).Value()
+			fmt.Fprintf(&buf, "tradeoffd_endpoint_%s{endpoint=%q} %d\n", counter, kv.Key, v)
+		})
+	}
+
+	// Request durations: one summary per endpoint.
+	m.durationsMu.Lock()
+	names := make([]string, 0, len(m.durations))
+	for name := range m.durations {
+		names = append(names, name)
+	}
+	hists := make([]*obs.Histogram, len(names))
+	sort.Strings(names)
+	for i, name := range names {
+		hists[i] = m.durations[name]
+	}
+	m.durationsMu.Unlock()
+	buf.WriteString("# HELP tradeoffd_request_duration_seconds Request duration by endpoint.\n")
+	buf.WriteString("# TYPE tradeoffd_request_duration_seconds summary\n")
+	for i, name := range names {
+		promSummarySeries(&buf, "tradeoffd_request_duration_seconds", fmt.Sprintf("endpoint=%q", name), hists[i])
+	}
+
+	// Engine-level instruments: where parallel evaluation time goes.
+	if st := m.engine; st != nil {
+		promHistogramSummary(&buf, st.Eval)
+		promHistogramSummary(&buf, st.QueueWait)
+		for _, c := range []*obs.Counter{st.MemoHit, st.MemoMiss, st.MemoShared} {
+			promCounter(&buf, "tradeoffd_"+c.Name(), "Engine memoization outcome count.", c.Value())
+		}
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write(buf.Bytes()) // a failed write means the client left
+}
+
+// promCounter writes one unlabeled counter with its TYPE header.
+func promCounter(buf *bytes.Buffer, name, help string, v int64) {
+	fmt.Fprintf(buf, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+}
+
+// promGauge writes one unlabeled gauge with its TYPE header.
+func promGauge(buf *bytes.Buffer, name, help string, v int64) {
+	fmt.Fprintf(buf, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+}
+
+// promHistogramSummary writes an unlabeled duration histogram as a
+// full summary block named after the histogram.
+func promHistogramSummary(buf *bytes.Buffer, h *obs.Histogram) {
+	name := "tradeoffd_" + h.Name() + "_seconds"
+	fmt.Fprintf(buf, "# TYPE %s summary\n", name)
+	promSummarySeries(buf, name, "", h)
+}
+
+// promSummarySeries writes one summary series (quantiles, _sum,
+// _count) for h, labeled with labels when non-empty.
+func promSummarySeries(buf *bytes.Buffer, name, labels string, h *obs.Histogram) {
+	for _, q := range promQuantiles {
+		sep := ""
+		if labels != "" {
+			sep = ","
+		}
+		fmt.Fprintf(buf, "%s{%s%squantile=%q} %s\n",
+			name, labels, sep, strconv.FormatFloat(q, 'g', -1, 64), promSeconds(h.Quantile(q)))
+	}
+	if labels != "" {
+		labels = "{" + labels + "}"
+	}
+	fmt.Fprintf(buf, "%s_sum%s %s\n", name, labels, promSeconds(h.Sum()))
+	fmt.Fprintf(buf, "%s_count%s %d\n", name, labels, h.Count())
+}
+
+// promSeconds formats a duration as Prometheus seconds.
+func promSeconds(d time.Duration) string {
+	return strconv.FormatFloat(d.Seconds(), 'g', -1, 64)
+}

@@ -14,7 +14,18 @@
 //	GET  /healthz      liveness probe
 //	GET  /metrics      expvar counters: requests, errors, cache
 //	                   hits/misses/bytes, in-flight, per-endpoint
-//	                   latency and evaluation counts
+//	                   latency and evaluation counts; ?format=prom
+//	                   renders the same state as Prometheus text with
+//	                   p50/p95/p99 request-duration quantiles
+//	GET  /debug/pprof/ net/http/pprof profiling (only with
+//	                   Options.Pprof / tradeoffd -pprof)
+//
+// Every request gets a correlation ID (X-Request-ID honored when
+// well-formed, generated otherwise) echoed in the response and in the
+// structured access-log line when Options.Logger is set. Request
+// contexts carry obs.EngineStats, so the engine pools record
+// queue-wait and evaluation time per job into the /metrics
+// histograms.
 //
 // All POST endpoints are pure functions of their payloads and run on
 // one generic pipeline (see endpoint.go): decode → defaults →
@@ -34,9 +45,12 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"net/http/pprof"
+	"time"
 
 	"tradeoff/internal/core"
 	"tradeoff/internal/engine"
+	"tradeoff/internal/obs"
 	"tradeoff/internal/simjob"
 	"tradeoff/internal/sweep"
 )
@@ -61,6 +75,14 @@ type Options struct {
 	// StallLimits bounds untrusted stall-grid payloads (zero value =
 	// simjob.DefaultLimits).
 	StallLimits simjob.Limits
+	// Logger, when non-nil, receives one structured access-log line per
+	// request (method, path, status, duration, request ID) and is
+	// threaded into request contexts for handlers to use.
+	Logger *obs.Logger
+	// Pprof registers net/http/pprof's profiling endpoints under
+	// /debug/pprof/. Off by default: profiling handlers expose enough
+	// internals that they are opt-in (tradeoffd's -pprof flag).
+	Pprof bool
 }
 
 // cachedResponse is one memoized endpoint response: the exact bytes
@@ -77,6 +99,7 @@ type Server struct {
 	mux     *http.ServeMux
 	cache   *engine.Memo[cachedResponse]
 	metrics *metrics
+	stats   *obs.EngineStats
 	runner  *simjob.Runner
 }
 
@@ -101,19 +124,67 @@ func New(opts Options) *Server {
 			return int64(len(r.body) + len(r.contentType))
 		}),
 		metrics: newMetrics(),
+		stats:   obs.NewEngineStats(),
 		runner:  simjob.NewRunner(),
 	}
 	s.metrics.cacheBytes = s.cache.Bytes
+	s.metrics.engine = s.stats
 	s.mux.HandleFunc("/v1/tradeoff", s.metrics.instrument("/v1/tradeoff", handle(s, s.tradeoffEndpoint())))
 	s.mux.HandleFunc("/v1/sweep", s.metrics.instrument("/v1/sweep", handle(s, s.sweepEndpoint())))
 	s.mux.HandleFunc("/v1/stall", s.metrics.instrument("/v1/stall", handle(s, s.stallEndpoint())))
 	s.mux.HandleFunc("/healthz", s.metrics.instrument("/healthz", s.handleHealthz))
 	s.mux.HandleFunc("/metrics", s.metrics.serveHTTP)
+	if opts.Pprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
-// Handler returns the root handler for an http.Server.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the root handler for an http.Server: the route mux
+// behind the observability middleware (request IDs, engine stats,
+// access logging).
+func (s *Server) Handler() http.Handler { return s.withObs(s.mux) }
+
+// withObs is the outermost middleware. It assigns every request a
+// correlation ID — honoring a well-formed client X-Request-ID,
+// generating one otherwise — echoes it on the response, threads the
+// engine instruments (and the configured logger) into the request
+// context so the worker pools underneath record queue-wait and
+// evaluation time, and emits one structured access-log line per
+// request when logging is configured.
+func (s *Server) withObs(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-ID")
+		if !obs.ValidRequestID(id) {
+			id = obs.NewRequestID()
+		}
+		w.Header().Set("X-Request-ID", id)
+
+		ctx := obs.WithRequestID(r.Context(), id)
+		ctx = obs.WithEngineStats(ctx, s.stats)
+		if s.opts.Logger != nil {
+			ctx = obs.WithLogger(ctx, s.opts.Logger)
+		}
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		defer func() {
+			if s.opts.Logger != nil {
+				s.opts.Logger.Info("request",
+					"method", r.Method,
+					"path", r.URL.Path,
+					"status", sw.status,
+					"duration_us", time.Since(start).Microseconds(),
+					"request_id", id,
+				)
+			}
+		}()
+		next.ServeHTTP(sw, r.WithContext(ctx))
+	})
+}
 
 // CacheHits returns the memoization hit count (for tests and ops).
 func (s *Server) CacheHits() int64 { return s.metrics.cacheHits.Value() }

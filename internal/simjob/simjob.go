@@ -22,6 +22,7 @@ import (
 
 	"tradeoff/internal/cache"
 	"tradeoff/internal/engine"
+	"tradeoff/internal/obs"
 	"tradeoff/internal/stall"
 	"tradeoff/internal/trace"
 )
@@ -163,7 +164,12 @@ func (r *Runner) Run(ctx context.Context, jobs []Job, opts Options) ([]stall.Res
 	if len(jobs) == 0 {
 		return nil, fmt.Errorf("simjob: no jobs")
 	}
+	ctx = obs.WithSpanName(ctx, "sim_job")
 	return engine.Map(ctx, jobs, opts.Workers, func(ctx context.Context, job Job) (stall.Result, error) {
+		if s := obs.CurrentSpan(ctx); s != nil {
+			s.SetArg("program", job.Trace.Program)
+			s.SetArg("feature", job.Cfg.Feature.String())
+		}
 		return r.measure(ctx, job, opts)
 	})
 }
@@ -176,7 +182,11 @@ func RunRefs(ctx context.Context, refs []trace.Ref, cfgs []stall.Config, workers
 	if len(cfgs) == 0 {
 		return nil, fmt.Errorf("simjob: no configurations")
 	}
-	return engine.Map(ctx, cfgs, workers, func(_ context.Context, cfg stall.Config) (stall.Result, error) {
+	ctx = obs.WithSpanName(ctx, "sim_feature")
+	return engine.Map(ctx, cfgs, workers, func(ctx context.Context, cfg stall.Config) (stall.Result, error) {
+		if s := obs.CurrentSpan(ctx); s != nil {
+			s.SetArg("feature", cfg.Feature.String())
+		}
 		return stall.Run(cfg, refs)
 	})
 }

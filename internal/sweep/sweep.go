@@ -12,6 +12,7 @@ import (
 	"tradeoff/internal/core"
 	"tradeoff/internal/engine"
 	"tradeoff/internal/missratio"
+	"tradeoff/internal/obs"
 	"tradeoff/internal/trace"
 )
 
@@ -66,7 +67,13 @@ func Run(ctx context.Context, cfg Config, workers int) ([]Design, error) {
 		return nil, fmt.Errorf("sweep: empty design space (every line < 2D?)")
 	}
 
-	out, err := engine.Map(ctx, points, workers, func(_ context.Context, p point) (Design, error) {
+	ctx = obs.WithSpanName(ctx, "sweep_point")
+	out, err := engine.Map(ctx, points, workers, func(ctx context.Context, p point) (Design, error) {
+		if s := obs.CurrentSpan(ctx); s != nil {
+			s.SetArg("cache_kb", p.cacheKB)
+			s.SetArg("line", p.line)
+			s.SetArg("bus_bits", p.busBits)
+		}
 		return evaluate(cfg, hit, p)
 	})
 	if err != nil {
