@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short race bench bench-smoke bench-stall trace-smoke figures figures-fast report examples serve clean
+.PHONY: all build vet lint test test-short race bench bench-smoke bench-stall bench-mrc bench-record trace-smoke figures figures-fast report examples serve clean
 
 all: build lint test race
 
@@ -48,10 +48,24 @@ bench:
 bench-smoke:
 	$(GO) test -run=NONE -bench='BenchmarkSweepSerial|BenchmarkSweepParallel|BenchmarkTradeoffHandlerCached' -benchtime=1x .
 	$(GO) test -run=NONE -bench='BenchmarkStallSweep' -benchtime=1x ./internal/simjob
+	$(GO) test -run=NONE -bench='BenchmarkSweepSim$$|BenchmarkSweepMRC' -benchtime=1x .
 
 # Back-compat alias for the stall-sweep half of bench-smoke.
 bench-stall:
 	$(GO) test -run=NONE -bench='BenchmarkStallSweep' -benchtime=1x ./internal/simjob
+
+# Race the 64-point sweep grid under re-simulation ("sim:ear", one
+# trace pass per point) against the miss-ratio-curve sources ("mrc:ear"
+# and "mrc~:ear", one pass per line size): the internal/mrc headline
+# numbers.
+bench-mrc:
+	$(GO) test -run=NONE -bench='BenchmarkSweepSim$$|BenchmarkSweepMRC' -benchmem .
+
+# Re-measure the headline benchmarks and refresh the committed
+# baseline; CI diffs against it with `benchjson -compare`
+# (non-blocking).
+bench-record:
+	$(GO) run ./cmd/benchjson -o BENCH_sweep.json
 
 # Smoke-run the span exporter: sweep the example design space with
 # -trace and validate the resulting Chrome trace_event JSON with

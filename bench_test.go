@@ -215,6 +215,37 @@ func benchSweepEngine(b *testing.B, workers int) {
 func BenchmarkSweepSerial(b *testing.B)   { benchSweepEngine(b, 1) }
 func BenchmarkSweepParallel(b *testing.B) { benchSweepEngine(b, 0) }
 
+// benchSweep64 sweeps the 64-point grid (8 cache sizes × 4 line sizes
+// × 2 bus widths) under the given hit source. The Sim/MRC pair measures
+// the tentpole claim of internal/mrc: re-simulation pays one trace pass
+// per design point, the miss-ratio-curve sources pay one pass per line
+// size (4 here) and answer the remaining 60 points from the curves.
+// Each iteration uses a fresh curve cache (sweep.Run owns one per
+// call), so the profiling cost is inside the measurement.
+func benchSweep64(b *testing.B, source string) {
+	cfg := sweep.Config{
+		CacheKB:   []int{1, 2, 4, 8, 16, 32, 64, 128},
+		LineBytes: []int{16, 32, 64, 128},
+		BusBits:   []int{32, 64},
+		LatencyNS: 360, TransferNS: 60, CPUNS: 30,
+		HitSource: source, SimRefs: 20_000,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ds, err := sweep.Run(context.Background(), cfg, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(ds) != 64 {
+			b.Fatalf("designs = %d, want 64", len(ds))
+		}
+	}
+}
+
+func BenchmarkSweepSim(b *testing.B)        { benchSweep64(b, "sim:ear") }
+func BenchmarkSweepMRC(b *testing.B)        { benchSweep64(b, "mrc:ear") }
+func BenchmarkSweepMRCSampled(b *testing.B) { benchSweep64(b, "mrc~:ear") }
+
 func BenchmarkTradeoffHandlerCached(b *testing.B) {
 	s := service.New(service.Options{})
 	h := s.Handler()

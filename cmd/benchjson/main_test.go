@@ -1,0 +1,99 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func doc(names ...string) Document {
+	d := Document{Schema: Schema}
+	for i, n := range names {
+		d.Benchmarks = append(d.Benchmarks, Result{Name: n, Iterations: 1, NsPerOp: float64(100 * (i + 1))})
+	}
+	return d
+}
+
+func TestDiffPassesWithinThreshold(t *testing.T) {
+	base, cur := doc("a", "b"), doc("a", "b")
+	cur.Benchmarks[0].NsPerOp *= 1.2 // under 1.25x: fine
+	var sb strings.Builder
+	if err := diff(&sb, base, cur, 1.25); err != nil {
+		t.Fatalf("within-threshold diff failed: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "1.20x") {
+		t.Fatalf("diff output lacks the ratio:\n%s", sb.String())
+	}
+}
+
+func TestDiffFailsOnRegression(t *testing.T) {
+	base, cur := doc("a"), doc("a")
+	cur.Benchmarks[0].NsPerOp *= 2
+	var sb strings.Builder
+	err := diff(&sb, base, cur, 1.25)
+	if err == nil {
+		t.Fatalf("2x regression passed:\n%s", sb.String())
+	}
+	if !strings.Contains(err.Error(), "a") {
+		t.Fatalf("error does not name the benchmark: %v", err)
+	}
+}
+
+func TestDiffToleratesAsymmetricSuites(t *testing.T) {
+	// New benchmarks without a baseline and removed ones report but
+	// never fail, so suite growth doesn't invalidate old baselines.
+	var sb strings.Builder
+	if err := diff(&sb, doc("old"), doc("new"), 1.25); err != nil {
+		t.Fatalf("asymmetric suites failed: %v", err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "no baseline") || !strings.Contains(out, "only in baseline") {
+		t.Fatalf("asymmetry not reported:\n%s", out)
+	}
+}
+
+func TestReadBaseline(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "b.json")
+	if err := os.WriteFile(path, []byte(`{"schema":"tradeoff-bench/v1","benchmarks":[{"name":"x","iterations":3,"ns_per_op":42}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, err := readBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Benchmarks) != 1 || d.Benchmarks[0].NsPerOp != 42 {
+		t.Fatalf("decoded %+v", d)
+	}
+	if err := os.WriteFile(path, []byte(`{"schema":"tradeoff-bench/v9"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readBaseline(path); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+	if _, err := readBaseline(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing baseline accepted")
+	}
+}
+
+// TestBaselineCommitted pins the repo-root baseline: it must parse,
+// carry the current schema, and cover the registered suite so
+// `benchjson -compare BENCH_sweep.json` diffs every benchmark.
+func TestBaselineCommitted(t *testing.T) {
+	d, err := readBaseline("../../BENCH_sweep.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	have := map[string]bool{}
+	for _, r := range d.Benchmarks {
+		have[r.Name] = true
+		if r.NsPerOp <= 0 || r.Iterations <= 0 {
+			t.Errorf("baseline %s has empty measurement %+v", r.Name, r)
+		}
+	}
+	for _, bm := range benchmarks {
+		if !have[bm.name] {
+			t.Errorf("committed baseline lacks %s; run `make bench-record`", bm.name)
+		}
+	}
+}

@@ -8,9 +8,14 @@
 //	sweep -config space.json [-o designs.csv] [-workers N] [-trace out.json]
 //	sweep -example          # print a commented example configuration
 //
-// Hit ratios come either from the calibrated design-target surface
-// ("model") or from cache simulation of a named workload ("sim:<name>",
-// e.g. "sim:zipf" or "sim:nasa7").
+// Hit ratios come from the calibrated design-target surface ("model"),
+// from cache simulation of a named workload ("sim:<name>", e.g.
+// "sim:zipf" or "sim:nasa7"), or from a single-pass miss-ratio curve
+// of that workload ("mrc:<name>" exact, "mrc~:<name>" SHARDS-sampled;
+// see internal/mrc): one reuse-distance pass per line size answers
+// every cache size in the grid, so big grids cost O(refs + points)
+// instead of O(refs × points). "mrc_rate" and "mrc_budget" tune the
+// sampled variant.
 //
 // The sweep itself lives in internal/sweep and runs on a worker pool
 // (default runtime.NumCPU(); -workers 1 forces a serial sweep). Output
@@ -18,8 +23,9 @@
 // backs the tradeoffd HTTP service.
 //
 // -trace writes a Chrome trace_event JSON profile of the run (one
-// "sweep_point" span per evaluated design, laned by worker slot) —
-// load it at chrome://tracing or https://ui.perfetto.dev.
+// "sweep_point" span per evaluated design, laned by worker slot, plus
+// one "mrc_pass" span per trace pass under the mrc sources) — load it
+// at chrome://tracing or https://ui.perfetto.dev.
 package main
 
 import (

@@ -106,6 +106,49 @@ func TestRunSimSweep(t *testing.T) {
 	}
 }
 
+// TestRunMRCSweepTrace drives the "mrc:" hit source through the CLI
+// with -trace, asserting the export shows one mrc_pass per line size —
+// the user-visible proof an MRC sweep replaced per-point re-simulation
+// with single passes.
+func TestRunMRCSweepTrace(t *testing.T) {
+	cfg := writeConfig(t, `{
+		"cache_kb": [1, 2, 4, 8, 16, 32, 64, 128], "line_bytes": [16, 32, 64, 128],
+		"bus_bits": [32, 64],
+		"latency_ns": 360, "transfer_ns": 60, "cpu_ns": 30,
+		"hit_source": "mrc:ear", "sim_refs": 20000
+	}`)
+	dir := t.TempDir()
+	out := filepath.Join(dir, "d.csv")
+	tracePath := filepath.Join(dir, "trace.json")
+	if err := run(context.Background(), cfg, out, 0, tracePath); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(out)
+	if n := len(strings.Split(strings.TrimSpace(string(data)), "\n")) - 1; n != 64 {
+		t.Fatalf("designs = %d, want 64", n)
+	}
+	traceData, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []struct {
+		Name string `json:"name"`
+	}
+	if err := json.Unmarshal(traceData, &events); err != nil {
+		t.Fatalf("trace is not a JSON event array: %v", err)
+	}
+	counts := map[string]int{}
+	for _, ev := range events {
+		counts[ev.Name]++
+	}
+	if counts["sweep_point"] != 64 {
+		t.Fatalf("sweep_point spans = %d, want 64", counts["sweep_point"])
+	}
+	if counts["mrc_pass"] != 4 {
+		t.Fatalf("mrc_pass spans = %d for 64 points, want 4 (one per line size)", counts["mrc_pass"])
+	}
+}
+
 func TestRunRejectsBadConfigs(t *testing.T) {
 	cases := []string{
 		`{`, // malformed JSON

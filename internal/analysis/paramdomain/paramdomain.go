@@ -37,7 +37,7 @@ import (
 // Analyzer is the paramdomain check.
 var Analyzer = &lint.Analyzer{
 	Name: "paramdomain",
-	Doc:  "flags core.Params/sweep.Config/simjob.Grid constructions whose constant fields violate the paper's parameter domains (α ∈ [0,1], βm ≥ 1, L ≥ D > 0, …) and core.Params built without a reachable Validate() call",
+	Doc:  "flags core.Params/sweep.Config/simjob.Grid/mrc.SamplerConfig constructions whose constant fields violate the paper's parameter domains (α ∈ [0,1], βm ≥ 1, L ≥ D > 0, sampling rate ∈ (0,1], …) and core.Params built without a reachable Validate() call",
 	Run:  run,
 }
 
@@ -137,6 +137,8 @@ var rules = []*ruledStruct{
 			"AddrBits":   interval(0, 128),
 			"CtrlPins":   atLeast(0),
 			"SimRefs":    atLeast(0),
+			"MRCRate":    interval(0, 1),
+			"MRCBudget":  atLeast(0),
 		},
 	},
 	{
@@ -165,6 +167,26 @@ var rules = []*ruledStruct{
 			"E": positive(),
 			"R": atLeast(0),
 			"W": atLeast(0),
+		},
+	},
+	{
+		// SHARDS sampler: a sampling rate must select a non-empty subset
+		// (rate ∈ (0, 1]) and the eviction heap needs room for at least
+		// one tracked block.
+		pkgElem: "mrc", name: "SamplerConfig",
+		fields: map[string]domain{
+			"Rate":   {min: 0, max: 1, minExcl: true},
+			"Budget": atLeast(1),
+		},
+	},
+	{
+		// An MRC profiling spec: line size must be a positive power of
+		// two (the power-of-two half is runtime-checked by Validate) and
+		// a pass needs at least one reference.
+		pkgElem: "mrc", name: "Spec",
+		fields: map[string]domain{
+			"LineSize": positive(),
+			"Refs":     positive(),
 		},
 	},
 }

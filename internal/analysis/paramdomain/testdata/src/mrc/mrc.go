@@ -1,0 +1,16 @@
+// Package mrc is a fixture stand-in for tradeoff/internal/mrc.
+package mrc
+
+type SamplerConfig struct {
+	Rate   float64
+	Budget int
+}
+
+type Spec struct {
+	Workload string
+	Seed     uint64
+	Refs     int
+	LineSize int
+	Sampled  bool
+	Sampler  SamplerConfig
+}

@@ -2,6 +2,7 @@ package paramtest
 
 import (
 	"core"
+	"mrc"
 	"simjob"
 	"sweep"
 )
@@ -67,8 +68,28 @@ func configDomains() {
 		LatencyNS: -60, // want `Config.LatencyNS = -60 outside its domain \[0, \+inf\)`
 		AddrBits:  256, // want `Config.AddrBits = 256 outside its domain \[0, 128\]`
 		CPUNS:     0,   // zero selects the default: fine
+		MRCRate:   1.5, // want `Config.MRCRate = 1.5 outside its domain \[0, 1\]`
+		MRCBudget: -1,  // want `Config.MRCBudget = -1 outside its domain \[0, \+inf\)`
 	}
 	useCfg(c)
+}
+
+func useSampler(s mrc.SamplerConfig) {}
+func useSpec(s mrc.Spec)             {}
+
+func mrcDomains() {
+	s := mrc.SamplerConfig{
+		Rate:   0, // want `SamplerConfig.Rate = 0 outside its domain \(0, 1\]`
+		Budget: 0, // want `SamplerConfig.Budget = 0 outside its domain \[1, \+inf\)`
+	}
+	s.Rate = 2 // want `SamplerConfig.Rate = 2 outside its domain \(0, 1\]`
+	useSampler(s)
+	useSampler(mrc.SamplerConfig{Rate: 0.1, Budget: 8192}) // in domain: fine
+	useSpec(mrc.Spec{
+		Workload: "ear",
+		Refs:     20000,
+		LineSize: -64, // want `Spec.LineSize = -64 outside its domain \(0, \+inf\)`
+	})
 }
 
 func gridDomains() {

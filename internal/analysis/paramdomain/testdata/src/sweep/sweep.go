@@ -12,4 +12,6 @@ type Config struct {
 	AddrBits   int
 	CtrlPins   int
 	SimRefs    int
+	MRCRate    float64
+	MRCBudget  int
 }

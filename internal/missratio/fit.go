@@ -26,14 +26,29 @@ func Fit(t *Table) (Model, error) {
 		logMR      float64
 	}
 	var pts []point
+	sizes := make(map[int]bool)
+	lines := make(map[int]bool)
 	for _, size := range t.Sizes() {
+		sizes[size] = true
 		for _, line := range t.Lines(size) {
+			lines[line] = true
 			mr, _ := t.Lookup(size, line)
 			if mr <= 0 || mr > 1 {
 				return Model{}, fmt.Errorf("missratio: unfittable miss ratio %g at (%d, %d)", mr, size, line)
 			}
 			pts = append(pts, point{size, line, math.Log(mr)})
 		}
+	}
+	// A table varying along only one axis leaves the other axis's shape
+	// parameters unconstrained: one cache size cannot pin γ, one line
+	// size cannot pin σ — the grid search would still "converge", to
+	// whatever corner of the (γ, σ, k) box happens to minimize noise,
+	// and the model would extrapolate garbage along the unseen axis.
+	if len(sizes) < 2 {
+		return Model{}, fmt.Errorf("missratio: all %d points share cache size %d; need at least 2 distinct cache sizes to constrain gamma", len(pts), t.Sizes()[0])
+	}
+	if len(lines) < 2 {
+		return Model{}, fmt.Errorf("missratio: all %d points share one line size; need at least 2 distinct line sizes to constrain sigma", len(pts))
 	}
 
 	const c0 = 16 << 10

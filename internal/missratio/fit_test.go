@@ -2,6 +2,7 @@ package missratio
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"tradeoff/internal/cache"
@@ -90,5 +91,32 @@ func TestFitErrors(t *testing.T) {
 	}
 	if _, err := FitError(DefaultModel(), bad); err == nil {
 		t.Fatal("FitError accepted non-positive entries")
+	}
+}
+
+// TestFitRejectsDegenerateTables: a table whose points all share one
+// cache size leaves γ unconstrained (the size factor is the same
+// constant at every point), and one line size leaves σ unconstrained —
+// Fit used to silently "converge" to an arbitrary corner of the search
+// box. Both shapes must now fail with an error naming the missing axis.
+func TestFitRejectsDegenerateTables(t *testing.T) {
+	oneSize := NewTable()
+	for _, line := range []int{8, 16, 32, 64} {
+		oneSize.Set(8<<10, line, 0.1/float64(line))
+	}
+	if _, err := Fit(oneSize); err == nil {
+		t.Fatal("table with a single cache size accepted")
+	} else if !strings.Contains(err.Error(), "cache size") {
+		t.Fatalf("single-cache-size error does not name the axis: %v", err)
+	}
+
+	oneLine := NewTable()
+	for _, size := range []int{4 << 10, 8 << 10, 16 << 10, 32 << 10} {
+		oneLine.Set(size, 32, 1.0/float64(size>>10))
+	}
+	if _, err := Fit(oneLine); err == nil {
+		t.Fatal("table with a single line size accepted")
+	} else if !strings.Contains(err.Error(), "line size") {
+		t.Fatalf("single-line-size error does not name the axis: %v", err)
 	}
 }

@@ -1,0 +1,103 @@
+package mrc
+
+import (
+	"context"
+	"fmt"
+
+	"tradeoff/internal/engine"
+	"tradeoff/internal/obs"
+	"tradeoff/internal/trace"
+)
+
+// Spec identifies one miss-ratio curve: a named workload profiled at
+// one line size for a bounded number of references, exactly or via
+// SHARDS sampling. Equal specs yield equal curves, which is what makes
+// the CurveCache memoization sound.
+type Spec struct {
+	Workload string // one of trace.Workloads()
+	Seed     uint64 // workload generator seed
+	Refs     int    // references to profile (must be positive)
+	LineSize int    // block size in bytes (positive power of two)
+	Sampled  bool   // SHARDS sampling instead of the exact profiler
+	Sampler  SamplerConfig
+}
+
+// Validate reports specs outside the profiler's domain. The sampler
+// config is only checked when Sampled is set.
+func (s Spec) Validate() error {
+	if unknown := trace.ValidWorkloads([]string{s.Workload}); len(unknown) > 0 {
+		return fmt.Errorf("mrc: unknown workload %q (want one of %v)", s.Workload, trace.Workloads())
+	}
+	if s.Refs < 1 {
+		return fmt.Errorf("mrc: spec refs %d, want >= 1", s.Refs)
+	}
+	if err := validLineSize(s.LineSize); err != nil {
+		return err
+	}
+	if s.Sampled {
+		return s.Sampler.Validate()
+	}
+	return nil
+}
+
+// key is the memoization key: every field that changes the curve.
+func (s Spec) key() string {
+	if s.Sampled {
+		return fmt.Sprintf("%s|%d|%d|%d|~%g|%d",
+			s.Workload, s.Seed, s.Refs, s.LineSize, s.Sampler.Rate, s.Sampler.Budget)
+	}
+	return fmt.Sprintf("%s|%d|%d|%d", s.Workload, s.Seed, s.Refs, s.LineSize)
+}
+
+// Profile performs the single trace pass the spec describes and
+// returns its curve. Each call streams the workload afresh — this is
+// the expensive step CurveCache exists to run once — and opens one
+// "mrc_pass" span, so a -trace export counts exactly the passes paid
+// for.
+func (s Spec) Profile(ctx context.Context) (*Curve, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	_, span := obs.StartSpan(ctx, "mrc_pass")
+	span.SetArg("workload", s.Workload)
+	span.SetArg("line_size", s.LineSize)
+	span.SetArg("refs", s.Refs)
+	span.SetArg("sampled", s.Sampled)
+	defer span.End()
+	src, err := trace.NewWorkload(s.Workload, s.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if s.Sampled {
+		return ProfileSampledSource(src, s.Refs, s.LineSize, s.Sampler)
+	}
+	return ProfileSource(src, s.Refs, s.LineSize)
+}
+
+// CurveCache memoizes curves by Spec on an engine.Memo, so a sweep —
+// or concurrent sweeps sharing one cache — pays one trace pass per
+// distinct (workload, line size) spec, with singleflight collapsing
+// concurrent requests for the same spec.
+type CurveCache struct {
+	memo *engine.Memo[*Curve]
+}
+
+// NewCurveCache returns a cache bounded to maxEntries curves and
+// maxBytes of resident curve data; bounds <= 0 are unlimited, matching
+// engine.NewMemo.
+func NewCurveCache(maxEntries int, maxBytes int64) *CurveCache {
+	return &CurveCache{memo: engine.NewMemo(maxEntries, maxBytes, (*Curve).memoryBytes)}
+}
+
+// Get returns the curve for spec, profiling it on first use. The
+// boolean reports whether the curve was shared (memo hit or joined
+// flight) rather than profiled by this call.
+func (cc *CurveCache) Get(ctx context.Context, spec Spec) (*Curve, bool, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, false, err
+	}
+	return cc.memo.Do(ctx, spec.key(), spec.Profile)
+}
+
+// Len returns the number of cached curves.
+func (cc *CurveCache) Len() int { return cc.memo.Len() }

@@ -1,0 +1,215 @@
+package mrc
+
+import (
+	"tradeoff/internal/trace"
+)
+
+// stackTree is the order-statistic index behind both profilers: an
+// implicit LRU stack of tracked blocks whose stack-distance queries
+// run in O(log n). Each tracked block occupies one access-time slot;
+// a Fenwick (binary indexed) tree counts live slots, so the number of
+// distinct blocks touched since a given slot is one prefix-sum query.
+// Slots are consumed left to right; when they run out the live slots
+// are renumbered — and the array doubled only while more than half
+// its slots are live — so the index stays O(uniqueBlocks) in memory
+// and O(log uniqueBlocks) per access ("scaled tree"), not
+// O(log refs).
+type stackTree struct {
+	tree  []int          // Fenwick counts over slots 1..len(tree)-1
+	slots []uint64       // slot → the block holding it (where occ)
+	occ   []bool         // slot → currently live
+	next  int            // next unused slot (1-based)
+	live  int            // tracked blocks (live slots)
+	last  map[uint64]int // block → its most recent slot
+}
+
+func newStackTree() *stackTree {
+	const n = 1 << 10
+	return &stackTree{
+		tree:  make([]int, n),
+		slots: make([]uint64, n),
+		occ:   make([]bool, n),
+		next:  1,
+		last:  make(map[uint64]int),
+	}
+}
+
+func (t *stackTree) add(pos, delta int) {
+	for ; pos < len(t.tree); pos += pos & -pos {
+		t.tree[pos] += delta
+	}
+}
+
+func (t *stackTree) prefix(pos int) int {
+	s := 0
+	for ; pos > 0; pos -= pos & -pos {
+		s += t.tree[pos]
+	}
+	return s
+}
+
+// access moves block to the top of the LRU stack and returns the
+// stack distance it was found at: 0 when no other block intervened
+// since its previous access, −1 when the block was never seen.
+func (t *stackTree) access(block uint64) int {
+	d := -1
+	if p, ok := t.last[block]; ok {
+		// Live blocks in slots after p are exactly the distinct blocks
+		// accessed since block's previous access. The occupancy bit must
+		// drop too: renumber compacts by scanning occ, so a stale bit
+		// would resurrect the cleared slot. (The last entry is simply
+		// overwritten below.)
+		d = t.live - t.prefix(p)
+		t.add(p, -1)
+		t.occ[p] = false
+		t.live--
+	}
+	if t.next >= len(t.tree) {
+		t.renumber()
+	}
+	t.add(t.next, 1)
+	t.slots[t.next] = block
+	t.occ[t.next] = true
+	t.live++
+	t.last[block] = t.next
+	t.next++
+	return d
+}
+
+// remove forgets block entirely (SHARDS threshold eviction).
+func (t *stackTree) remove(block uint64) {
+	if p, ok := t.last[block]; ok {
+		t.add(p, -1)
+		t.occ[p] = false
+		t.live--
+		delete(t.last, block)
+	}
+}
+
+// blocks returns the number of tracked blocks.
+func (t *stackTree) blocks() int { return len(t.last) }
+
+// renumber compacts live slots to 1..live preserving their order,
+// doubling the slot array only when more than half of it is live. One
+// ascending scan of the occupancy bits keeps the order without
+// sorting, and the Fenwick tree over a prefix of all-ones is filled
+// node by node in closed form, so the whole rebuild is O(size) —
+// amortized O(1) per access over the ≥ size/2 accesses that consumed
+// the slots.
+func (t *stackTree) renumber() {
+	size := len(t.tree)
+	for size < 2*(t.live+1) {
+		size *= 2
+	}
+	slots := make([]uint64, size)
+	occ := make([]bool, size)
+	n := 1
+	for p := 1; p < t.next; p++ {
+		if !t.occ[p] {
+			continue
+		}
+		slots[n], occ[n] = t.slots[p], true
+		t.last[slots[n]] = n
+		n++
+	}
+	t.next = n
+	t.live = n - 1
+	t.slots, t.occ = slots, occ
+	// Fenwick node q covers (q − lowbit(q), q]; with slots 1..live all
+	// holding 1, its sum is the overlap of that range with [1, live].
+	tree := make([]int, size)
+	for q := 1; q < size; q++ {
+		lo, hi := q-q&-q, q
+		if hi > t.live {
+			hi = t.live
+		}
+		if hi > lo {
+			tree[q] = hi - lo
+		}
+	}
+	t.tree = tree
+}
+
+// Profiler measures exact reuse distances: Mattson's stack algorithm
+// over block addresses, one stackTree query per reference. Feed it
+// references with Access (or a whole Source with ProfileSource) and
+// finish with Curve. A Profiler is not safe for concurrent use.
+type Profiler struct {
+	lineShift uint
+	lineSize  int
+	tree      *stackTree
+	hist      []uint64 // hist[d] = references with stack distance d
+	cold      uint64
+	refs      uint64
+}
+
+// NewProfiler returns an exact profiler at the given block (line)
+// size, which must be a positive power of two.
+func NewProfiler(lineSize int) (*Profiler, error) {
+	if err := validLineSize(lineSize); err != nil {
+		return nil, err
+	}
+	return &Profiler{
+		lineShift: log2(uint64(lineSize)),
+		lineSize:  lineSize,
+		tree:      newStackTree(),
+	}, nil
+}
+
+// Access records one reference. Loads and stores are profiled alike:
+// under write-allocate both promote their block to the top of the LRU
+// stack, which is what makes the curve match the simulator exactly.
+func (p *Profiler) Access(addr uint64) {
+	p.refs++
+	d := p.tree.access(addr >> p.lineShift)
+	if d < 0 {
+		p.cold++
+		return
+	}
+	for d >= len(p.hist) {
+		p.hist = append(p.hist, make([]uint64, len(p.hist)+64)...)
+	}
+	p.hist[d]++
+}
+
+// Curve reduces the profile so far into an exact miss-ratio curve.
+// The profiler can keep accumulating afterwards; each call snapshots.
+func (p *Profiler) Curve() *Curve {
+	hist := make(map[uint64]float64, len(p.hist))
+	for d, n := range p.hist {
+		if n != 0 {
+			hist[uint64(d)] = float64(n)
+		}
+	}
+	return newCurve(p.lineSize, p.refs, p.tree.blocks(), false, 1, hist, float64(p.cold))
+}
+
+// ProfileRefs builds the exact curve of a materialized trace at one
+// line size.
+func ProfileRefs(refs []trace.Ref, lineSize int) (*Curve, error) {
+	p, err := NewProfiler(lineSize)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range refs {
+		p.Access(r.Addr)
+	}
+	return p.Curve(), nil
+}
+
+// ProfileSource streams up to n references from src through an exact
+// profiler — no trace materialization, O(uniqueBlocks) memory.
+func ProfileSource(src trace.Source, n, lineSize int) (*Curve, error) {
+	p, err := NewProfiler(lineSize)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		r, ok := src.Next()
+		if !ok {
+			break
+		}
+		p.Access(r.Addr)
+	}
+	return p.Curve(), nil
+}

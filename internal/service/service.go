@@ -7,7 +7,11 @@
 //	POST /v1/tradeoff  price one feature at a design point (ΔHR, the
 //	                   miss-count/bus-width ratio r, Eq. 9 line-fill
 //	                   time, optional Eq. 2 execution time)
-//	POST /v1/sweep     full design-space sweep → JSON or CSV
+//	POST /v1/sweep     full design-space sweep → JSON or CSV; hit
+//	                   sources "model", "sim:<workload>", and the
+//	                   single-pass miss-ratio curves "mrc:<workload>"
+//	                   (exact) / "mrc~:<workload>" (SHARDS-sampled),
+//	                   with curves memoized across requests
 //	POST /v1/stall     trace-driven stall sweep: replay a workload
 //	                   grid and return each point's stall.Result
 //	                   decomposition → JSON or CSV
@@ -50,6 +54,7 @@ import (
 
 	"tradeoff/internal/core"
 	"tradeoff/internal/engine"
+	"tradeoff/internal/mrc"
 	"tradeoff/internal/obs"
 	"tradeoff/internal/simjob"
 	"tradeoff/internal/sweep"
@@ -101,6 +106,7 @@ type Server struct {
 	metrics *metrics
 	stats   *obs.EngineStats
 	runner  *simjob.Runner
+	curves  *mrc.CurveCache
 }
 
 // New builds a Server with its routes registered.
@@ -126,6 +132,9 @@ func New(opts Options) *Server {
 		metrics: newMetrics(),
 		stats:   obs.NewEngineStats(),
 		runner:  simjob.NewRunner(),
+		// Miss-ratio curves survive across /v1/sweep requests: 64 curves
+		// (≈ a few sweeps' worth of line sizes) within 64 MiB.
+		curves: mrc.NewCurveCache(64, 64<<20),
 	}
 	s.metrics.cacheBytes = s.cache.Bytes
 	s.metrics.engine = s.stats
@@ -363,7 +372,7 @@ func (s *Server) sweepEndpoint() endpoint[sweep.Config, []sweep.Design] {
 		limits: func(cfg sweep.Config) error { return cfg.CheckLimits(s.opts.Limits) },
 		key:    sweep.Config.Canonical,
 		run: func(ctx context.Context, cfg sweep.Config) ([]sweep.Design, error) {
-			return sweep.Run(ctx, cfg, s.opts.Workers)
+			return sweep.RunCurves(ctx, cfg, s.opts.Workers, s.curves)
 		},
 		encodeJSON: func(ds []sweep.Design) any {
 			return SweepResponse{Count: len(ds), ParetoCount: sweep.ParetoCount(ds), Designs: ds}

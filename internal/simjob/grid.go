@@ -20,7 +20,7 @@ import (
 // SetDefaults. It is the wire format of POST /v1/stall, mirroring how
 // sweep.Config parameterizes /v1/sweep.
 type Grid struct {
-	Programs []string `json:"programs"` // workload program models (default all six)
+	Programs []string `json:"programs"` // workload models, programs or "zipf" (default the six programs)
 	Refs     int      `json:"refs"`     // references per trace (default 30000)
 	Seed     uint64   `json:"seed"`     // trace seed (default 1994)
 
@@ -97,7 +97,7 @@ func (g *Grid) SetDefaults() {
 // geometry, legal bus widths) is checked when the point's configs are
 // built, so the errors carry the exact offending combination.
 func (g *Grid) Validate() error {
-	if unknown := trace.ValidNames(g.Programs); len(unknown) > 0 {
+	if unknown := trace.ValidWorkloads(g.Programs); len(unknown) > 0 {
 		return fmt.Errorf("simjob: unknown programs %v", unknown)
 	}
 	for _, name := range g.Features {

@@ -27,9 +27,10 @@ import (
 	"tradeoff/internal/trace"
 )
 
-// TraceSpec names a synthetic workload trace: which program model,
-// which seed, how many references. Equal specs materialize identical
-// traces, which is what makes the spec a safe memoization key.
+// TraceSpec names a synthetic workload trace: which workload model
+// (a program or "zipf"), which seed, how many references. Equal specs
+// materialize identical traces, which is what makes the spec a safe
+// memoization key.
 type TraceSpec struct {
 	Program string `json:"program"`
 	Seed    uint64 `json:"seed"`
@@ -38,7 +39,7 @@ type TraceSpec struct {
 
 // Materialize generates the trace the spec names.
 func (s TraceSpec) Materialize() ([]trace.Ref, error) {
-	src, err := trace.NewProgram(s.Program, s.Seed)
+	src, err := trace.NewWorkload(s.Program, s.Seed)
 	if err != nil {
 		return nil, err
 	}

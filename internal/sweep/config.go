@@ -1,8 +1,9 @@
 // Package sweep is the design-space sweep engine: it enumerates a
 // cache-size × line-size × bus-width space from a Config, evaluates
-// each design's hit ratio (analytic model or cache simulation), mean
-// memory delay per reference, chip area (rbe) and package pins, and
-// flags the Pareto-efficient designs in (delay, area, pins).
+// each design's hit ratio (analytic model, cache simulation, or a
+// single-pass miss-ratio curve — internal/mrc), mean memory delay per
+// reference, chip area (rbe) and package pins, and flags the
+// Pareto-efficient designs in (delay, area, pins).
 //
 // The engine is shared by the sweep CLI (cmd/sweep) and the evaluation
 // service (internal/service, cmd/tradeoffd). Evaluation runs on a
@@ -15,6 +16,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"strings"
+
+	"tradeoff/internal/mrc"
 )
 
 // Config is the JSON schema of a design-space sweep. The zero value of
@@ -29,9 +32,11 @@ type Config struct {
 	CPUNS      float64 `json:"cpu_ns"`       // processor cycle time
 	AddrBits   int     `json:"addr_bits"`    // address bus width (default 32)
 	CtrlPins   int     `json:"control_pins"` // control pin allowance (default 40)
-	HitSource  string  `json:"hit_source"`   // "model" or "sim:<workload>"
+	HitSource  string  `json:"hit_source"`   // "model", "sim:", "mrc:" or "mrc~:<workload>"
 	SimRefs    int     `json:"sim_refs"`     // references per simulated point (default 200000)
 	Seed       uint64  `json:"seed"`
+	MRCRate    float64 `json:"mrc_rate"`   // mrc~: initial sampling rate (default 0.1)
+	MRCBudget  int     `json:"mrc_budget"` // mrc~: max tracked blocks (default 8192)
 }
 
 // ExampleConfig is a commented-out-free example configuration, printed
@@ -67,6 +72,13 @@ func (c *Config) SetDefaults() {
 	if c.Seed == 0 {
 		c.Seed = 1994
 	}
+	def := mrc.DefaultSampler()
+	if c.MRCRate == 0 {
+		c.MRCRate = def.Rate
+	}
+	if c.MRCBudget == 0 {
+		c.MRCBudget = def.Budget
+	}
 }
 
 // Validate reports configurations outside the engine's domain. It
@@ -101,8 +113,12 @@ func (c *Config) Validate() error {
 			return fmt.Errorf("sweep: bus_bits entry %d, want a positive multiple of 8", b)
 		}
 	}
-	if c.HitSource != "model" && !strings.HasPrefix(c.HitSource, "sim:") {
-		return fmt.Errorf("sweep: hit_source %q, want \"model\" or \"sim:<workload>\"", c.HitSource)
+	if c.HitSource != "model" && !strings.HasPrefix(c.HitSource, "sim:") &&
+		!strings.HasPrefix(c.HitSource, "mrc:") && !strings.HasPrefix(c.HitSource, "mrc~:") {
+		return fmt.Errorf("sweep: hit_source %q, want \"model\", \"sim:\", \"mrc:\" or \"mrc~:<workload>\"", c.HitSource)
+	}
+	if err := (mrc.SamplerConfig{Rate: c.MRCRate, Budget: c.MRCBudget}).Validate(); err != nil {
+		return fmt.Errorf("sweep: %w", err)
 	}
 	return nil
 }

@@ -12,6 +12,7 @@ import (
 	"tradeoff/internal/core"
 	"tradeoff/internal/engine"
 	"tradeoff/internal/missratio"
+	"tradeoff/internal/mrc"
 	"tradeoff/internal/obs"
 	"tradeoff/internal/trace"
 )
@@ -43,11 +44,20 @@ type point struct {
 // context cancels in-flight evaluation: a disconnected HTTP client or
 // an interrupted CLI stops the pool early with ctx.Err().
 func Run(ctx context.Context, cfg Config, workers int) ([]Design, error) {
+	return RunCurves(ctx, cfg, workers, nil)
+}
+
+// RunCurves is Run with a caller-owned miss-ratio-curve cache backing
+// the "mrc:"/"mrc~:" hit sources, so curves survive across sweeps (the
+// tradeoffd service holds one for its lifetime). A nil cache is fine —
+// an mrc sweep then profiles into a private cache, still paying
+// exactly one trace pass per (workload, line size) within that sweep.
+func RunCurves(ctx context.Context, cfg Config, workers int, curves *mrc.CurveCache) ([]Design, error) {
 	cfg.SetDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	hit, err := hitFunc(cfg)
+	hit, err := hitFunc(cfg, curves)
 	if err != nil {
 		return nil, err
 	}
@@ -74,7 +84,7 @@ func Run(ctx context.Context, cfg Config, workers int) ([]Design, error) {
 			s.SetArg("line", p.line)
 			s.SetArg("bus_bits", p.busBits)
 		}
-		return evaluate(cfg, hit, p)
+		return evaluate(ctx, cfg, hit, p)
 	})
 	if err != nil {
 		return nil, err
@@ -85,9 +95,9 @@ func Run(ctx context.Context, cfg Config, workers int) ([]Design, error) {
 
 // evaluate prices one design point: hit ratio from the configured
 // source, Eq. (2)-style mean delay per reference, rbe area and pins.
-func evaluate(cfg Config, hit hitRatioFunc, p point) (Design, error) {
+func evaluate(ctx context.Context, cfg Config, hit hitRatioFunc, p point) (Design, error) {
 	d := p.busBits / 8
-	hr, err := hit(p.cacheKB<<10, p.line)
+	hr, err := hit(ctx, p.cacheKB<<10, p.line)
 	if err != nil {
 		return Design{}, err
 	}
@@ -106,33 +116,58 @@ func evaluate(cfg Config, hit hitRatioFunc, p point) (Design, error) {
 	}, nil
 }
 
-// hitRatioFunc prices the hit ratio of a (size, line) cache.
-type hitRatioFunc func(sizeBytes, line int) (float64, error)
+// hitRatioFunc prices the hit ratio of a (size, line) cache. The
+// context carries the worker's span, so curve passes nest under their
+// sweep_point in a -trace export.
+type hitRatioFunc func(ctx context.Context, sizeBytes, line int) (float64, error)
+
+// mrcSource splits an "mrc:<workload>" or "mrc~:<workload>" hit source
+// into its workload name and sampling flag.
+func mrcSource(hitSource string) (name string, sampled, ok bool) {
+	if name, ok = strings.CutPrefix(hitSource, "mrc~:"); ok {
+		return name, true, true
+	}
+	name, ok = strings.CutPrefix(hitSource, "mrc:")
+	return name, false, ok
+}
 
 // hitFunc returns the hit-ratio source selected by the config: the
-// calibrated design-target surface ("model") or cache simulation of a
-// named workload ("sim:<name>"). Simulated sources build a private
-// trace and cache per call, so the returned function is safe for
-// concurrent use by the pool.
-func hitFunc(cfg Config) (hitRatioFunc, error) {
+// calibrated design-target surface ("model"), cache simulation of a
+// named workload ("sim:<name>"), or a single-pass miss-ratio curve
+// ("mrc:<name>" exact, "mrc~:<name>" SHARDS-sampled). Simulated
+// sources build a private trace and cache per call; mrc sources share
+// one memoized curve per (workload, line size) through curves. Either
+// way the returned function is safe for concurrent use by the pool.
+func hitFunc(cfg Config, curves *mrc.CurveCache) (hitRatioFunc, error) {
 	if cfg.HitSource == "model" {
 		m := missratio.DefaultModel()
-		return func(size, line int) (float64, error) {
+		return func(_ context.Context, size, line int) (float64, error) {
 			return 1 - m.MissRatio(size, line), nil
 		}, nil
 	}
-	name := strings.TrimPrefix(cfg.HitSource, "sim:")
-	return func(size, line int) (float64, error) {
-		var src trace.Source
-		if name == "zipf" {
-			src = trace.ZipfReuse(trace.ZipfReuseConfig{
-				Seed: cfg.Seed, Base: 0x1000_0000, Lines: 65536, Theta: 1.5, WriteFrac: 0.3})
-		} else {
-			var err error
-			src, err = trace.NewProgram(name, cfg.Seed)
+	if name, sampled, ok := mrcSource(cfg.HitSource); ok {
+		if curves == nil {
+			curves = mrc.NewCurveCache(0, 0)
+		}
+		spec := mrc.Spec{Workload: name, Seed: cfg.Seed, Refs: cfg.SimRefs, Sampled: sampled}
+		if sampled {
+			spec.Sampler = mrc.SamplerConfig{Rate: cfg.MRCRate, Budget: cfg.MRCBudget}
+		}
+		return func(ctx context.Context, size, line int) (float64, error) {
+			s := spec
+			s.LineSize = line
+			c, _, err := curves.Get(ctx, s)
 			if err != nil {
 				return 0, err
 			}
+			return c.HitRatioAssoc(size, cfg.Assoc), nil
+		}, nil
+	}
+	name := strings.TrimPrefix(cfg.HitSource, "sim:")
+	return func(_ context.Context, size, line int) (float64, error) {
+		src, err := trace.NewWorkload(name, cfg.Seed)
+		if err != nil {
+			return 0, err
 		}
 		c, err := cache.New(cache.Config{Size: size, LineSize: line, Assoc: cfg.Assoc})
 		if err != nil {
