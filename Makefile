@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short race bench bench-smoke bench-stall bench-mrc bench-record trace-smoke figures figures-fast report examples serve clean
+.PHONY: all build vet lint lint-fast test test-short race bench bench-smoke bench-stall bench-mrc bench-record trace-smoke figures figures-fast report examples serve clean
 
 all: build lint test race
 
@@ -14,9 +14,16 @@ vet:
 	gofmt -l . | tee /dev/stderr | wc -l | grep -q '^0$$'
 
 # Full static analysis: go vet + gofmt (the vet target) plus the
-# repo's own tradeoffvet suite (parameter domains, float discipline,
-# context propagation, error handling, metric hygiene).
+# repo's own nine-analyzer tradeoffvet suite (parameter domains, float
+# discipline, context propagation, error handling, metric hygiene,
+# span lifecycle, locking discipline, deterministic output order,
+# hot-path allocation budgets).
 lint: vet
+	$(GO) run ./cmd/tradeoffvet ./...
+
+# Just the tradeoffvet suite — skips go vet and gofmt for a fast
+# inner-loop check while iterating on analyzer findings.
+lint-fast:
 	$(GO) run ./cmd/tradeoffvet ./...
 
 # -shuffle=on randomizes test (and subtest) execution order so hidden

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 	"testing"
 
@@ -212,7 +213,12 @@ func diff(w io.Writer, base, cur Document, threshold float64) error {
 			r.Name, r.NsPerOp, b.NsPerOp, ratio, mark)
 		delete(baseline, r.Name)
 	}
+	removed := make([]string, 0, len(baseline))
 	for name := range baseline {
+		removed = append(removed, name)
+	}
+	sort.Strings(removed)
+	for _, name := range removed {
 		fmt.Fprintf(&sb, "%-24s only in baseline (benchmark removed?)\n", name)
 	}
 	if _, err := io.WriteString(w, sb.String()); err != nil {

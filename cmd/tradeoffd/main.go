@@ -80,15 +80,16 @@ func run(addr string, workers, entries int, cacheBytes int64, drain time.Duratio
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-
+	// The listener goroutine starts before the signal context exists:
+	// its lifetime is managed by srv.Shutdown below, not by a ctx.
 	errc := make(chan error, 1)
-	//lint:ignore ctxflow the listener's lifetime is managed by srv.Shutdown below, not by ctx
 	go func() {
 		logger.Info("listening", "addr", addr)
 		errc <- srv.ListenAndServe()
 	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	select {
 	case err := <-errc:
@@ -97,8 +98,9 @@ func run(addr string, workers, entries int, cacheBytes int64, drain time.Duratio
 	}
 
 	logger.Info("shutting down", "drain", drain.String())
-	//lint:ignore ctxflow the signal context is already canceled during drain; the timeout needs a fresh parent
-	drainCtx, cancel := context.WithTimeout(context.Background(), drain)
+	// The signal context is already canceled here; strip its
+	// cancellation but keep its values for the drain deadline.
+	drainCtx, cancel := context.WithTimeout(context.WithoutCancel(ctx), drain)
 	defer cancel()
 	if err := srv.Shutdown(drainCtx); err != nil {
 		return fmt.Errorf("drain timeout exceeded: %w", err)

@@ -1,25 +1,33 @@
-// Tradeoffvet is the repo's static-analysis multichecker: five
+// Tradeoffvet is the repo's static-analysis multichecker: nine
 // analyzers enforcing the paper's parameter domains, float-comparison
-// discipline, context propagation, error handling and metric hygiene
-// over every non-test package. It is self-contained — analyzers are
-// built on the stdlib go/ast+go/types stack (internal/analysis/lint),
-// with dependency types resolved from `go list -export` data, so no
-// external modules are required.
+// discipline, context propagation, error handling, metric hygiene,
+// span lifecycle, locking discipline, deterministic output order and
+// hot-path allocation budgets over every non-test package. It is
+// self-contained — analyzers are built on the stdlib go/ast+go/types
+// stack (internal/analysis/lint), the flow-sensitive ones on the CFG
+// and solvers in internal/analysis/dataflow, with dependency types
+// resolved from `go list -export` data, so no external modules are
+// required.
 //
 // Usage:
 //
-//	tradeoffvet [-list] [packages]
+//	tradeoffvet [-list] [-format text|json] [packages]
 //
 // Packages default to ./... resolved from the current directory.
-// Findings print as file:line:col: message (analyzer); the exit status
-// is 1 when findings exist, 2 on a load or internal error. Suppress a
-// finding with a `//lint:ignore <analyzer> <reason>` directive on or
-// directly above its line.
+// With -format text (the default) findings print as
+// file:line:col: message (analyzer); with -format json each finding
+// is one JSON object per line — {"analyzer","file","line","col",
+// "message"} — for machine consumers such as CI annotators. The exit
+// status is 1 when findings exist, 2 on a load or internal error.
+// Suppress a finding with a `//lint:ignore <analyzer> <reason>`
+// directive on or directly above its line.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"tradeoff/internal/analysis/lint"
@@ -28,23 +36,37 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:]))
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string) int {
+// jsonFinding is the -format json wire shape, one object per line.
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
 	flags := flag.NewFlagSet("tradeoffvet", flag.ExitOnError)
 	list := flags.Bool("list", false, "list the analyzers and exit")
+	format := flags.String("format", "text", "output format: text or json")
 	flags.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: tradeoffvet [-list] [packages]\n\n")
-		fmt.Fprintf(os.Stderr, "Runs the tradeoff static-analysis suite (default packages: ./...).\n")
+		_, _ = fmt.Fprintf(stderr, "usage: tradeoffvet [-list] [-format text|json] [packages]\n\n")
+		_, _ = fmt.Fprintf(stderr, "Runs the tradeoff static-analysis suite (default packages: ./...).\n")
 		flags.PrintDefaults()
 	}
 	if err := flags.Parse(args); err != nil {
 		return 2
 	}
+	if *format != "text" && *format != "json" {
+		_, _ = fmt.Fprintf(stderr, "tradeoffvet: unknown format %q (want text or json)\n", *format)
+		return 2
+	}
 	if *list {
 		for _, a := range suite.Analyzers {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			_, _ = fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
 		}
 		return 0
 	}
@@ -55,19 +77,33 @@ func run(args []string) int {
 	}
 	pkgs, err := load.Load(".", patterns...)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		_, _ = fmt.Fprintln(stderr, err)
 		return 2
 	}
 
+	enc := json.NewEncoder(stdout)
 	exit := 0
 	for _, pkg := range pkgs {
 		findings, err := lint.Run(pkg, suite.Analyzers)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "tradeoffvet: %s: %v\n", pkg.ImportPath, err)
+			_, _ = fmt.Fprintf(stderr, "tradeoffvet: %s: %v\n", pkg.ImportPath, err)
 			exit = 2
 		}
 		for _, f := range findings {
-			fmt.Println(f)
+			if *format == "json" {
+				if err := enc.Encode(jsonFinding{
+					Analyzer: f.Analyzer,
+					File:     f.Pos.Filename,
+					Line:     f.Pos.Line,
+					Col:      f.Pos.Column,
+					Message:  f.Message,
+				}); err != nil {
+					_, _ = fmt.Fprintf(stderr, "tradeoffvet: encoding finding: %v\n", err)
+					return 2
+				}
+			} else {
+				_, _ = fmt.Fprintln(stdout, f)
+			}
 			if exit == 0 {
 				exit = 1
 			}

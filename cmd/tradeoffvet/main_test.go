@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tradeoff/internal/analysis/suite"
+)
+
+func TestListShowsAllAnalyzers(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("run(-list) = %d, want 0; stderr: %s", code, errb.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != len(suite.Analyzers) {
+		t.Fatalf("-list printed %d lines, want %d:\n%s", len(lines), len(suite.Analyzers), out.String())
+	}
+	for i, a := range suite.Analyzers {
+		if !strings.HasPrefix(lines[i], a.Name) {
+			t.Errorf("-list line %d = %q, want analyzer %q", i, lines[i], a.Name)
+		}
+	}
+}
+
+func TestUnknownFormatRejected(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-format", "yaml"}, &out, &errb); code != 2 {
+		t.Fatalf("run(-format yaml) = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown format") {
+		t.Errorf("stderr = %q, want an unknown-format error", errb.String())
+	}
+}
+
+// TestJSONFindings runs the real suite over a scratch module with one
+// known defect and checks the -format json wire shape.
+func TestJSONFindings(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "go.mod", "module scratch\n\ngo 1.22\n")
+	writeFile(t, dir, "a.go", `package scratch
+
+// Matches reports whether two model quantities agree.
+func Matches(a, b float64) bool { return a == b }
+`)
+	chdir(t, dir)
+
+	var out, errb bytes.Buffer
+	code := run([]string{"-format", "json", "."}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("run = %d, want 1 (findings); stderr: %s\nstdout: %s", code, errb.String(), out.String())
+	}
+	dec := json.NewDecoder(strings.NewReader(out.String()))
+	n := 0
+	for dec.More() {
+		var f jsonFinding
+		if err := dec.Decode(&f); err != nil {
+			t.Fatalf("line %d: not one JSON object per line: %v\n%s", n, err, out.String())
+		}
+		n++
+		if f.Analyzer == "" || f.File == "" || f.Line == 0 || f.Col == 0 || f.Message == "" {
+			t.Errorf("finding %d has empty fields: %+v", n, f)
+		}
+		if f.Analyzer == "floatcmp" && !strings.HasSuffix(f.File, "a.go") {
+			t.Errorf("floatcmp finding in %s, want a.go", f.File)
+		}
+	}
+	if n == 0 {
+		t.Fatalf("no findings decoded; stdout: %s", out.String())
+	}
+}
+
+func writeFile(t *testing.T, dir, name, content string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func chdir(t *testing.T, dir string) {
+	t.Helper()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.Chdir(old) })
+}

@@ -8,6 +8,17 @@
 // expression that must match a finding reported on that line; findings
 // with no matching expectation, and expectations with no matching
 // finding, both fail the test.
+//
+// A fixture file may instead declare itself a negative case with a
+// file-level directive comment
+//
+//	// want:none
+//
+// asserting the analyzer reports nothing anywhere in that file. The
+// directive makes the absence an explicit, reviewable expectation —
+// a clean file with no want comments passes silently, but a want:none
+// file that starts reporting (or that also carries want comments,
+// which would contradict it) fails loudly.
 package analysistest
 
 import (
@@ -45,8 +56,12 @@ func Run(t *testing.T, root string, a *lint.Analyzer, paths ...string) {
 		if err != nil {
 			t.Fatalf("running %s on %s: %v", a.Name, path, err)
 		}
-		expectations := collectWants(t, pkg.Fset, pkg)
+		expectations, negatives := collectWants(t, pkg.Fset, pkg)
 		for _, f := range findings {
+			if negatives[f.Pos.Filename] {
+				t.Errorf("%s declares `// want:none` but got finding: %s", f.Pos.Filename, f)
+				continue
+			}
 			if !claim(expectations, f) {
 				t.Errorf("unexpected finding: %s", f)
 			}
@@ -71,12 +86,17 @@ func claim(exps []*expectation, f lint.Finding) bool {
 	return false
 }
 
-func collectWants(t *testing.T, fset *token.FileSet, pkg *load.Package) []*expectation {
+func collectWants(t *testing.T, fset *token.FileSet, pkg *load.Package) ([]*expectation, map[string]bool) {
 	t.Helper()
 	var exps []*expectation
+	negatives := map[string]bool{}
 	for _, file := range pkg.Files {
 		for _, cg := range file.Comments {
 			for _, c := range cg.List {
+				if strings.TrimSpace(c.Text) == "// want:none" {
+					negatives[fset.Position(c.Pos()).Filename] = true
+					continue
+				}
 				m := wantRE.FindStringSubmatch(c.Text)
 				if m == nil {
 					continue
@@ -102,5 +122,10 @@ func collectWants(t *testing.T, fset *token.FileSet, pkg *load.Package) []*expec
 			}
 		}
 	}
-	return exps
+	for _, e := range exps {
+		if negatives[e.file] {
+			t.Fatalf("%s: file declares `// want:none` but also carries a // want expectation at line %d", e.file, e.line)
+		}
+	}
+	return exps, negatives
 }

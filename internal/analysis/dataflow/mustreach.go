@@ -1,0 +1,89 @@
+package dataflow
+
+import (
+	"go/ast"
+)
+
+// Scan visits n's subtree in source order, calling f on every node
+// until f returns true, and reports whether f matched. Function
+// literal bodies are skipped: their statements execute at call time,
+// not where the literal appears, so flow-sensitive predicates must not
+// treat them as part of the enclosing path.
+func Scan(n ast.Node, f func(ast.Node) bool) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found || m == nil {
+			return false
+		}
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		if f(m) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// MustReachExit reports whether every execution path from the node
+// `from` (a simple statement or guard expression in the graph) to the
+// function's exit passes through a node satisfying the predicate.
+// Deferred calls run on every exiting path, so a satisfying deferred
+// call satisfies the query outright. Paths that die before Exit — a
+// panic, os.Exit, an infinite loop — are vacuously satisfied: the
+// solver answers "can execution fall off the end without satisfying",
+// which is the question leak checks ask.
+//
+// If `from` is not in the graph, MustReachExit returns false (the
+// conservative answer for a leak check: nothing was proven).
+func (g *Graph) MustReachExit(from ast.Node, satisfies func(ast.Node) bool) bool {
+	for _, d := range g.Defers {
+		if Scan(d, satisfies) {
+			return true
+		}
+	}
+	start := g.nodeBlock[from]
+	if start == nil {
+		return false
+	}
+	// Position after `from` within its block.
+	idx := -1
+	for i, n := range start.Nodes {
+		if n == from {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return false
+	}
+
+	// DFS for a path to Exit that avoids every satisfying node. The
+	// visited set is block-granular: entering a block twice from its
+	// start cannot discover anything new.
+	visited := make([]bool, len(g.Blocks))
+	var escape func(b *Block, startIdx int) bool
+	escape = func(b *Block, startIdx int) bool {
+		for _, n := range b.Nodes[startIdx:] {
+			if Scan(n, satisfies) {
+				return false // this path is satisfied
+			}
+		}
+		if b == g.Exit {
+			return true // reached exit unsatisfied: leak path exists
+		}
+		for _, s := range b.Succs {
+			if visited[s.Index] {
+				continue
+			}
+			visited[s.Index] = true
+			if escape(s, 0) {
+				return true
+			}
+		}
+		return false
+	}
+	return !escape(start, idx+1)
+}

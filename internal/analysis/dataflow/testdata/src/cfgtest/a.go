@@ -1,0 +1,103 @@
+// Package cfgtest is the golden fixture for the dataflow CFG builder:
+// each function exercises one control shape, and the pinned dump in
+// testdata/cfgtest.golden locks the block/edge structure the solvers
+// (and the four flow-sensitive analyzers) depend on.
+package cfgtest
+
+import "fmt"
+
+func straight(a int) int {
+	b := a + 1
+	c := b * 2
+	return c
+}
+
+func ifElse(a int) int {
+	if a > 0 {
+		a++
+	} else {
+		a--
+	}
+	return a
+}
+
+func ifEarlyReturn(a int) int {
+	if a > 0 {
+		return 1
+	}
+	return 0
+}
+
+func forLoop(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+		if s > 100 {
+			break
+		}
+	}
+	return s
+}
+
+func rangeLoop(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		if x < 0 {
+			continue
+		}
+		s += x
+	}
+	return s
+}
+
+func switchCases(a int) string {
+	switch a {
+	case 0:
+		return "zero"
+	case 1:
+		fallthrough
+	case 2:
+		return "small"
+	default:
+		return "big"
+	}
+}
+
+func deferred(a int) (err error) {
+	defer fmt.Println("done")
+	if a < 0 {
+		return fmt.Errorf("negative")
+	}
+	return nil
+}
+
+func labeledBreak(grid [][]int) int {
+outer:
+	for _, row := range grid {
+		for _, v := range row {
+			if v == 0 {
+				break outer
+			}
+		}
+	}
+	return 0
+}
+
+func dies(a int) int {
+	if a < 0 {
+		panic("negative")
+	}
+	return a
+}
+
+func selectLoop(ch chan int, done chan struct{}) int {
+	s := 0
+	for {
+		select {
+		case v := <-ch:
+			s += v
+		case <-done:
+			return s
+		}
+	}
+}

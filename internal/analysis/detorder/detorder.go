@@ -1,0 +1,372 @@
+// Package detorder flags output that depends on Go's randomized map
+// iteration order. The sweep artifacts this repo produces — CSV rows,
+// JSON exports, Prometheus exposition, memo keys — are diffed across
+// runs and cached by content; an output that reshuffles with every
+// execution poisons both comparisons and caches while remaining
+// semantically "correct".
+//
+// Three shapes are reported:
+//
+//  1. An emitting call inside a range over a map: fmt.Fprintf to a
+//     writer, enc.Encode, w.Write/WriteString. The bytes land in map
+//     order.
+//  2. A string accumulated across a map range (s += ... or s = s +
+//     ...): the final value — typically a memo or cache key — differs
+//     run to run.
+//  3. A slice appended to inside a map range and then used (passed
+//     to a call, returned, or ranged-with-emission) downstream on
+//     some path with no sort.* / slices.Sort* call on it in between.
+//     The append-then-sort idiom is the fix, and is recognized: a
+//     sort on every path to the use keeps the analyzer quiet.
+//
+// Order-insensitive folds (sums, max, building another map) are not
+// flagged: map iteration is fine, it is only emission in map order
+// that isn't.
+package detorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"tradeoff/internal/analysis/dataflow"
+	"tradeoff/internal/analysis/lint"
+	"tradeoff/internal/analysis/typeutil"
+)
+
+// Analyzer is the detorder check.
+var Analyzer = &lint.Analyzer{
+	Name: "detorder",
+	Doc:  "flags map-iteration order leaking into output: emitters inside map ranges, strings built across them, and appended slices used without an intervening sort",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				checkBody(pass, fn.Body)
+			}
+		}
+	}
+	return nil
+}
+
+// checkBody analyzes one flow unit and recurses into function
+// literals, each with its own graph.
+func checkBody(pass *lint.Pass, body *ast.BlockStmt) {
+	g := dataflow.New(body)
+	// The CFG stores a range's guard as its X expression; map guards
+	// back to their statements so the post-loop scan can recognize a
+	// range over a tainted slice.
+	ranges := map[ast.Node]*ast.RangeStmt{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.RangeStmt:
+			ranges[n.X] = n
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			checkBody(pass, n.Body)
+			return false
+		case *ast.RangeStmt:
+			if isMapRange(pass, n) {
+				checkMapRange(pass, g, n, ranges)
+			}
+		}
+		return true
+	})
+}
+
+func isMapRange(pass *lint.Pass, rng *ast.RangeStmt) bool {
+	t := pass.TypeOf(rng.X)
+	if t == nil {
+		return false
+	}
+	_, ok := typeutil.Deref(t).Underlying().(*types.Map)
+	return ok
+}
+
+// checkMapRange inspects one range-over-map: direct emission and
+// string accumulation report immediately; outer-slice appends taint
+// the slice for the post-loop scan.
+func checkMapRange(pass *lint.Pass, g *dataflow.Graph, rng *ast.RangeStmt, ranges map[ast.Node]*ast.RangeStmt) {
+	var tainted []types.Object
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if name, ok := emitter(pass, n); ok {
+				pass.Reportf(n.Pos(), "%s inside range over %s emits in nondeterministic map order; collect the keys, sort them, then emit", name, render(rng.X))
+			}
+		case *ast.AssignStmt:
+			checkStringAccum(pass, rng, n)
+			if obj := appendTarget(pass, rng, n); obj != nil {
+				tainted = append(tainted, obj)
+			}
+		}
+		return true
+	})
+	for _, obj := range tainted {
+		scanAfterLoop(pass, g, rng, obj, ranges)
+	}
+}
+
+// emitter reports whether call writes bytes somewhere order would
+// show: fmt print/fprint functions, or Write*/Encode methods.
+func emitter(pass *lint.Pass, call *ast.CallExpr) (string, bool) {
+	fn := typeutil.Callee(pass.TypesInfo, call)
+	if fn == nil {
+		return "", false
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" &&
+		(strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint")) {
+		return "fmt." + fn.Name(), true
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	switch fn.Name() {
+	case "Write", "WriteString", "WriteByte", "WriteRune", "Encode":
+		return render(call.Fun), true
+	}
+	return "", false
+}
+
+// checkStringAccum flags s += expr (or s = s + expr) on a string
+// declared outside the loop: the concatenation order is map order.
+func checkStringAccum(pass *lint.Pass, rng *ast.RangeStmt, as *ast.AssignStmt) {
+	if len(as.Lhs) != 1 {
+		return
+	}
+	id, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil || obj.Pos() >= rng.Pos() {
+		return // declared inside the loop: dies each iteration
+	}
+	if b, ok := obj.Type().Underlying().(*types.Basic); !ok || b.Info()&types.IsString == 0 {
+		return
+	}
+	accum := as.Tok == token.ADD_ASSIGN
+	if as.Tok == token.ASSIGN && len(as.Rhs) == 1 {
+		// s = s + expr
+		if bin, ok := ast.Unparen(as.Rhs[0]).(*ast.BinaryExpr); ok && bin.Op == token.ADD {
+			ast.Inspect(bin, func(n ast.Node) bool {
+				if rid, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[rid] == obj {
+					accum = true
+				}
+				return !accum
+			})
+		}
+	}
+	if accum {
+		pass.Reportf(as.Pos(), "string %s is concatenated across a range over %s, so its value depends on map iteration order; build from sorted keys", id.Name, render(rng.X))
+	}
+}
+
+// appendTarget recognizes xs = append(xs, ...) onto a slice declared
+// outside the loop and returns the slice's object.
+func appendTarget(pass *lint.Pass, rng *ast.RangeStmt, as *ast.AssignStmt) types.Object {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return nil
+	}
+	id, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	if fid, ok := call.Fun.(*ast.Ident); !ok || fid.Name != "append" {
+		return nil
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil || obj.Pos() >= rng.Pos() {
+		return nil
+	}
+	if _, ok := obj.Type().Underlying().(*types.Slice); !ok {
+		return nil
+	}
+	return obj
+}
+
+// scanAfterLoop walks every CFG path from the loop's follow block. On
+// each path, the first order-relevant event for the tainted slice
+// decides: a sort call clears the path; an order-sensitive use — call
+// argument, return value, or an emitting range over it — reports.
+// One report per tainted slice.
+func scanAfterLoop(pass *lint.Pass, g *dataflow.Graph, rng *ast.RangeStmt, obj types.Object, ranges map[ast.Node]*ast.RangeStmt) {
+	start := g.FollowBlock(rng)
+	if start == nil {
+		return
+	}
+	reported := false
+	visited := map[*dataflow.Block]bool{}
+	var walk func(b *dataflow.Block)
+	walk = func(b *dataflow.Block) {
+		if reported || visited[b] {
+			return
+		}
+		visited[b] = true
+		for _, n := range b.Nodes {
+			switch event(pass, n, obj, ranges) {
+			case eventSort:
+				return // this path is clean
+			case eventUse:
+				pass.Reportf(usePos(pass, n, obj), "%s was appended to in map iteration order over %s and is used here without a sort; sort it (or iterate sorted keys) first", obj.Name(), render(rng.X))
+				reported = true
+				return
+			}
+		}
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	walk(start)
+}
+
+type eventKind int
+
+const (
+	eventNone eventKind = iota
+	eventSort
+	eventUse
+)
+
+// event classifies one simple node with respect to the tainted slice.
+func event(pass *lint.Pass, n ast.Node, obj types.Object, ranges map[ast.Node]*ast.RangeStmt) eventKind {
+	kind := eventNone
+	// A range guard node is the range's X expression: ranging over the
+	// tainted slice is order-sensitive only if the body emits.
+	if rng, ok := ranges[n]; ok {
+		if usesObj(pass, rng.X, obj) && bodyEmits(pass, rng.Body) {
+			return eventUse
+		}
+		return eventNone
+	}
+	dataflow.Scan(n, func(m ast.Node) bool {
+		if kind != eventNone {
+			return false
+		}
+		switch m := m.(type) {
+		case *ast.CallExpr:
+			if isSortOf(pass, m, obj) {
+				kind = eventSort
+				return false
+			}
+			if isBuiltinish(pass, m) {
+				return false // len/cap/append keep the taint, no report
+			}
+			for _, arg := range m.Args {
+				if usesObj(pass, arg, obj) {
+					kind = eventUse
+					return false
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range m.Results {
+				if usesObj(pass, r, obj) {
+					kind = eventUse
+					return false
+				}
+			}
+		}
+		return false
+	})
+	return kind
+}
+
+// isSortOf reports whether call is sort.*/slices.Sort* applied to obj.
+func isSortOf(pass *lint.Pass, call *ast.CallExpr, obj types.Object) bool {
+	fn := typeutil.Callee(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	pkg := fn.Pkg().Path()
+	sortish := pkg == "sort" || (pkg == "slices" && strings.HasPrefix(fn.Name(), "Sort"))
+	if !sortish || len(call.Args) == 0 {
+		return false
+	}
+	return usesObj(pass, call.Args[0], obj)
+}
+
+// isBuiltinish reports whether call is a builtin (len, cap, append,
+// delete, ...), which never consumes iteration order.
+func isBuiltinish(pass *lint.Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// bodyEmits reports whether a statement body contains an emitting
+// call (outside nested function literals).
+func bodyEmits(pass *lint.Pass, body *ast.BlockStmt) bool {
+	emits := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if _, ok := emitter(pass, call); ok {
+				emits = true
+			}
+		}
+		return !emits
+	})
+	return emits
+}
+
+func usesObj(pass *lint.Pass, e ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// usePos pins the diagnostic to the first use of obj within n.
+func usePos(pass *lint.Pass, n ast.Node, obj types.Object) token.Pos {
+	pos := n.Pos()
+	done := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok && !done && pass.TypesInfo.Uses[id] == obj {
+			pos = id.Pos()
+			done = true
+		}
+		return !done
+	})
+	return pos
+}
+
+// render prints a compact expression for diagnostics.
+func render(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return render(e.X) + "." + e.Sel.Name
+	case *ast.CallExpr:
+		return render(e.Fun) + "()"
+	case *ast.IndexExpr:
+		return render(e.X) + "[...]"
+	}
+	return "the map"
+}

@@ -1,0 +1,12 @@
+package detorder_test
+
+import (
+	"testing"
+
+	"tradeoff/internal/analysis/analysistest"
+	"tradeoff/internal/analysis/detorder"
+)
+
+func TestDetorder(t *testing.T) {
+	analysistest.Run(t, "testdata", detorder.Analyzer, "dettest")
+}

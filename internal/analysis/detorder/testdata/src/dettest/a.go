@@ -1,0 +1,71 @@
+// Fixtures for the detorder analyzer: emitters inside map ranges,
+// strings accumulated across them, and appended slices used unsorted.
+package dettest
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+func emitDirect(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `fmt.Fprintf inside range over m emits in nondeterministic map order`
+	}
+}
+
+func emitBuilder(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want `b.WriteString inside range over m emits in nondeterministic map order`
+	}
+	return b.String()
+}
+
+func memoKey(opts map[string]string) string {
+	key := ""
+	for k, v := range opts {
+		key += k + "=" + v + ";" // want `string key is concatenated across a range over opts`
+	}
+	return key
+}
+
+func memoKeyExplicitAdd(opts map[string]string) string {
+	key := ""
+	for k := range opts {
+		key = key + k // want `string key is concatenated across a range over opts`
+	}
+	return key
+}
+
+func returnUnsorted(m map[string]int) []string {
+	var names []string
+	for k := range m {
+		names = append(names, k)
+	}
+	return names // want `names was appended to in map iteration order over m and is used here without a sort`
+}
+
+func passUnsorted(w io.Writer, m map[string]int) {
+	var names []string
+	for k := range m {
+		names = append(names, k)
+	}
+	emitAll(w, names) // want `names was appended to in map iteration order over m and is used here without a sort`
+}
+
+func rangeEmitUnsorted(w io.Writer, m map[string]int) {
+	var names []string
+	for k := range m {
+		names = append(names, k)
+	}
+	for _, n := range names { // want `names was appended to in map iteration order over m and is used here without a sort`
+		fmt.Fprintln(w, n)
+	}
+}
+
+func emitAll(w io.Writer, names []string) {
+	for _, n := range names {
+		fmt.Fprintln(w, n)
+	}
+}

@@ -1,0 +1,68 @@
+// Negative cases: map iteration used in order-insensitive ways, and
+// the canonical append-then-sort idiom. Must stay quiet.
+// want:none
+package dettest
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+func sortedKeysThenEmit(w io.Writer, m map[string]int) {
+	var names []string
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(w, "%s=%d\n", n, m[n])
+	}
+}
+
+func sortSliceThenReturn(m map[string]float64) []string {
+	var names []string
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Slice(names, func(i, j int) bool { return names[i] < names[j] })
+	return names
+}
+
+func orderInsensitiveFold(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+func buildAnotherMap(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v * 2
+	}
+	return out
+}
+
+func rangeWithoutEmission(m map[string]int) int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	max := 0
+	for _, v := range vals {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+func localSliceDiesInLoop(w io.Writer, m map[string][]string, key string) {
+	for k, parts := range m {
+		row := append([]string{k}, parts...)
+		_ = row
+	}
+	fmt.Fprintln(w, key)
+}

@@ -1,0 +1,379 @@
+// Package hotalloc flags per-iteration allocation in functions the
+// author has declared hot. The stall replay loop and the mrc profiler
+// loop execute once per trace reference — hundreds of millions of
+// times per sweep — so a single boxed fmt argument or unhoisted
+// buffer there dominates the wall-clock the paper's methodology
+// depends on measuring, not spending.
+//
+// The contract is opt-in: only functions whose doc comment carries a
+//
+//	//perf:hot
+//
+// directive are checked; everything else may allocate freely. Inside
+// a hot function's loops the analyzer reports:
+//
+//   - make/new calls and &T{}, slice, and map literals (a fresh heap
+//     object each iteration — hoist it);
+//   - function literals (a closure allocation each iteration);
+//   - interface boxing: a concrete value passed where an interface —
+//     including a variadic ...any — is expected;
+//   - string concatenation and string<->[]byte conversions (each one
+//     copies);
+//   - appends to a slice whose every reaching definition is a
+//     capacity-less declaration outside the loop: the backing array
+//     reallocates log(n) times when make(T, 0, n) would do it once.
+//     Reaching definitions decide this, so a pre-sized make on any
+//     path — or a definition the analyzer cannot size — keeps it
+//     quiet.
+//
+// Value-struct literals are not flagged (they copy into place, no
+// heap object), and appends through fields or parameters are the
+// caller's business.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"tradeoff/internal/analysis/dataflow"
+	"tradeoff/internal/analysis/lint"
+)
+
+// Analyzer is the hotalloc check.
+var Analyzer = &lint.Analyzer{
+	Name: "hotalloc",
+	Doc:  "flags per-iteration allocations (make, literals, closures, interface boxing, string copies, unpre-sized appends) in loops of //perf:hot functions",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !isHot(fn.Doc) {
+				continue
+			}
+			checkHot(pass, fn)
+		}
+	}
+	return nil
+}
+
+// isHot reports whether the doc comment carries //perf:hot.
+func isHot(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.HasPrefix(c.Text, "//perf:hot") {
+			return true
+		}
+	}
+	return false
+}
+
+// checkHot analyzes one hot function: reaching definitions over its
+// CFG size the appends; the loop walk finds everything else.
+func checkHot(pass *lint.Pass, fn *ast.FuncDecl) {
+	g := dataflow.New(fn.Body)
+	reach := dataflow.SolveReachingDefs(g, pass.TypesInfo, fn.Type, fn.Recv, fn.Body)
+	// Outermost loops only: their subtrees include nested loops.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt:
+			checkLoop(pass, reach, n, nil)
+			return false
+		case *ast.RangeStmt:
+			checkLoop(pass, reach, n, n.X)
+			return false
+		}
+		return true
+	})
+}
+
+// checkLoop reports per-iteration allocations inside one loop. skip
+// is the range operand, evaluated once, not per iteration.
+func checkLoop(pass *lint.Pass, reach *dataflow.ReachingDefs, loop ast.Stmt, skip ast.Expr) {
+	childAdds := stringAddOperands(pass, loop)
+	ast.Inspect(loop, func(n ast.Node) bool {
+		if n == loop || n == nil {
+			return true
+		}
+		if skip != nil && n == skip {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "function literal in a //perf:hot loop allocates a closure each iteration; hoist it out of the loop")
+			return false
+		case *ast.UnaryExpr:
+			if lit, ok := n.X.(*ast.CompositeLit); ok && n.Op == token.AND {
+				pass.Reportf(n.Pos(), "&%s literal in a //perf:hot loop allocates each iteration; hoist or reuse it", render(lit.Type))
+				return false
+			}
+		case *ast.CompositeLit:
+			switch pass.TypeOf(n).Underlying().(type) {
+			case *types.Slice, *types.Map:
+				pass.Reportf(n.Pos(), "%s literal in a //perf:hot loop allocates its backing store each iteration; hoist or reuse it", render(n.Type))
+				return false
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(pass.TypeOf(n)) && !childAdds[n] {
+				pass.Reportf(n.Pos(), "string concatenation in a //perf:hot loop allocates each iteration; use a reused buffer or strings.Builder outside the loop")
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isString(pass.TypeOf(n.Lhs[0])) {
+				pass.Reportf(n.Pos(), "string concatenation in a //perf:hot loop allocates each iteration; use a reused buffer or strings.Builder outside the loop")
+			}
+			checkAppend(pass, reach, loop, n)
+		case *ast.CallExpr:
+			checkCall(pass, n)
+		}
+		return true
+	})
+}
+
+// stringAddOperands collects string-add binaries that are operands of
+// an enclosing string-add, so a+b+c reports once at the top.
+func stringAddOperands(pass *lint.Pass, root ast.Node) map[*ast.BinaryExpr]bool {
+	children := map[*ast.BinaryExpr]bool{}
+	ast.Inspect(root, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		bin, ok := n.(*ast.BinaryExpr)
+		if !ok || bin.Op != token.ADD || !isString(pass.TypeOf(bin)) {
+			return true
+		}
+		for _, op := range []ast.Expr{bin.X, bin.Y} {
+			if sub, ok := ast.Unparen(op).(*ast.BinaryExpr); ok && sub.Op == token.ADD && isString(pass.TypeOf(sub)) {
+				children[sub] = true
+			}
+		}
+		return true
+	})
+	return children
+}
+
+// checkCall handles make/new, string<->[]byte conversions, and
+// interface boxing at call boundaries.
+func checkCall(pass *lint.Pass, call *ast.CallExpr) {
+	// Type conversion?
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to, from := pass.TypeOf(call), pass.TypeOf(call.Args[0])
+		if isString(to) && isByteSlice(from) {
+			pass.Reportf(call.Pos(), "[]byte-to-string conversion in a //perf:hot loop copies each iteration")
+		}
+		if isByteSlice(to) && isString(from) {
+			pass.Reportf(call.Pos(), "string-to-[]byte conversion in a //perf:hot loop copies each iteration")
+		}
+		return
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make", "new":
+				pass.Reportf(call.Pos(), "%s in a //perf:hot loop allocates each iteration; hoist the buffer and reuse it", id.Name)
+			}
+			return
+		}
+	}
+	sig, ok := pass.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // xs... passes the slice through, no boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		at := pass.TypeOf(arg)
+		if at == nil || !types.IsInterface(pt) || types.IsInterface(at) {
+			continue
+		}
+		if b, ok := at.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "%s boxes into an interface argument in a //perf:hot loop, allocating each iteration", render(arg))
+	}
+}
+
+// defKind classifies one reaching definition of an append target.
+type defKind int
+
+const (
+	defSelfAppend defKind = iota // the accumulation itself
+	defCapless                   // declared with no capacity
+	defSized                     // carries a capacity (or initial elements)
+	defUnknown                   // entry def, call result, range binding...
+)
+
+// checkAppend flags xs = append(xs, ...) in a loop when every
+// reaching definition of xs is a capacity-less declaration outside
+// the loop.
+func checkAppend(pass *lint.Pass, reach *dataflow.ReachingDefs, loop ast.Stmt, as *ast.AssignStmt) {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return
+	}
+	lhs, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return
+	}
+	if fid, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || fid.Name != "append" {
+		return
+	}
+	target, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := pass.TypesInfo.Uses[target]
+	if obj == nil || pass.TypesInfo.Uses[lhs] != obj {
+		return // xs = append(ys, ...) renames; out of scope
+	}
+	if v, ok := obj.(*types.Var); !ok || v.IsField() || v.Parent() == v.Pkg().Scope() {
+		return // fields and globals are not ours to size
+	}
+	caplessOutside := false
+	for _, def := range reach.Reaching(target) {
+		switch classifyDef(pass, obj, def) {
+		case defSelfAppend:
+			// accumulation; keep looking
+		case defCapless:
+			if def.Node.Pos() >= loop.Pos() && def.Node.End() <= loop.End() {
+				return // reset inside the loop: sizing it is a different fix
+			}
+			caplessOutside = true
+		default:
+			return // sized somewhere or unknowable: stay quiet
+		}
+	}
+	if caplessOutside {
+		pass.Reportf(as.Pos(), "append to %s in a //perf:hot loop grows without preallocated capacity; declare it with make(..., 0, n) before the loop", obj.Name())
+	}
+}
+
+// classifyDef sizes one definition site.
+func classifyDef(pass *lint.Pass, obj types.Object, def dataflow.Def) defKind {
+	if def.Node == nil {
+		return defUnknown // parameter or named result
+	}
+	var rhs ast.Expr
+	switch n := def.Node.(type) {
+	case *ast.AssignStmt:
+		for i, lhs := range n.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || pass.TypesInfo.Defs[id] != obj && pass.TypesInfo.Uses[id] != obj {
+				continue
+			}
+			if len(n.Rhs) == len(n.Lhs) {
+				rhs = n.Rhs[i]
+			} else {
+				return defUnknown // tuple assignment from a call
+			}
+		}
+	case *ast.ValueSpec:
+		if len(n.Values) == 0 {
+			return defCapless // var xs []T
+		}
+		for i, id := range n.Names {
+			if pass.TypesInfo.Defs[id] == obj && i < len(n.Values) {
+				rhs = n.Values[i]
+			}
+		}
+	default:
+		return defUnknown // range binding, ++/--
+	}
+	if rhs == nil {
+		return defUnknown
+	}
+	switch r := ast.Unparen(rhs).(type) {
+	case *ast.Ident:
+		if r.Name == "nil" {
+			return defCapless
+		}
+	case *ast.CompositeLit:
+		if len(r.Elts) == 0 {
+			return defCapless
+		}
+		return defSized
+	case *ast.CallExpr:
+		if fid, ok := ast.Unparen(r.Fun).(*ast.Ident); ok {
+			switch fid.Name {
+			case "append":
+				return defSelfAppend
+			case "make":
+				if len(r.Args) >= 3 {
+					return defSized
+				}
+				if len(r.Args) == 2 {
+					if tv, ok := pass.TypesInfo.Types[r.Args[1]]; ok && tv.Value != nil {
+						if n, ok := constant.Int64Val(tv.Value); ok && n == 0 {
+							return defCapless // make([]T, 0)
+						}
+					}
+					return defSized
+				}
+			}
+		}
+	}
+	return defUnknown
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint8
+}
+
+// render prints a compact expression for diagnostics.
+func render(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return render(e.X) + "." + e.Sel.Name
+	case *ast.CallExpr:
+		return render(e.Fun) + "(...)"
+	case *ast.BasicLit:
+		return e.Value
+	case *ast.ArrayType:
+		return "[]" + render(e.Elt)
+	case *ast.MapType:
+		return "map[" + render(e.Key) + "]" + render(e.Value)
+	case *ast.StarExpr:
+		return "*" + render(e.X)
+	}
+	return "value"
+}

@@ -1,0 +1,80 @@
+// Fixtures for the hotalloc analyzer: per-iteration allocations in
+// loops of //perf:hot functions.
+package hottest
+
+import "fmt"
+
+type item struct{ k, v int }
+
+// process is on the replay hot path.
+//
+//perf:hot
+func process(items []int) []*item {
+	var out []*item
+	for i, v := range items {
+		out = append(out, &item{i, v}) // want `&item literal` `append to out in a //perf:hot loop grows without preallocated capacity`
+	}
+	return out
+}
+
+// hashKeys builds a memo key.
+//
+//perf:hot
+func hashKeys(keys []string) string {
+	h := ""
+	for _, k := range keys {
+		h += k // want `string concatenation in a //perf:hot loop`
+	}
+	return h
+}
+
+//perf:hot
+func format(vals []int) []string {
+	out := make([]string, 0, len(vals))
+	for _, v := range vals {
+		out = append(out, fmt.Sprintf("%d", v)) // want `v boxes into an interface argument`
+	}
+	return out
+}
+
+//perf:hot
+func buffers(lines []string) int {
+	n := 0
+	for _, l := range lines {
+		b := make([]byte, 0, 64) // want `make in a //perf:hot loop allocates each iteration`
+		b = append(b, l...)
+		n += len(b)
+	}
+	return n
+}
+
+//perf:hot
+func convert(names []string) int {
+	n := 0
+	for _, name := range names {
+		bs := []byte(name) // want `string-to-\[\]byte conversion in a //perf:hot loop`
+		n += len(bs)
+	}
+	return n
+}
+
+//perf:hot
+func closures(vals []int) int {
+	total := 0
+	for _, v := range vals {
+		f := func() int { return v * 2 } // want `function literal in a //perf:hot loop allocates a closure`
+		total += f()
+	}
+	return total
+}
+
+//perf:hot
+func mapLit(keys []string) int {
+	n := 0
+	for _, k := range keys {
+		m := map[string]int{} // want `map\[string\]int literal in a //perf:hot loop`
+		m[k] = 1
+		n += len(m)
+	}
+	return n
+}

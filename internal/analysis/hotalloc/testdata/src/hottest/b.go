@@ -1,0 +1,74 @@
+// Negative cases: allocation-free hot loops, pre-sized buffers, and
+// untagged functions. Must stay quiet.
+// want:none
+package hottest
+
+import (
+	"fmt"
+	"io"
+)
+
+// untagged allocates freely: no //perf:hot, no findings.
+func untagged(items []int) []*item {
+	var out []*item
+	for i, v := range items {
+		out = append(out, &item{i, v})
+	}
+	return out
+}
+
+// presized appends into preallocated capacity.
+//
+//perf:hot
+func presized(items []int) []int {
+	out := make([]int, 0, len(items))
+	buf := make([]byte, 0, 256)
+	for _, v := range items {
+		out = append(out, v)
+		buf = append(buf, byte(v))
+	}
+	return out
+}
+
+// alreadyBoxed passes interface-typed values: no new boxing.
+//
+//perf:hot
+func alreadyBoxed(vals []any) {
+	for _, v := range vals {
+		sink(v)
+	}
+}
+
+func sink(v any) {}
+
+// valueStructs copies literals into place without heap objects.
+//
+//perf:hot
+func valueStructs(items []int) int {
+	n := 0
+	for i, v := range items {
+		it := item{i, v}
+		n += it.k + it.v
+	}
+	return n
+}
+
+// spread forwards a variadic slice without re-boxing its elements.
+//
+//perf:hot
+func spread(w io.Writer, rows [][]any) {
+	for _, r := range rows {
+		fmt.Fprintln(w, r...)
+	}
+}
+
+// paramAppend appends to a caller-provided slice: its capacity is the
+// caller's business.
+//
+//perf:hot
+func paramAppend(dst []int, items []int) []int {
+	for _, v := range items {
+		dst = append(dst, v)
+	}
+	return dst
+}

@@ -21,6 +21,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strings"
 )
 
@@ -212,6 +213,7 @@ func Fixture(root, path string) (*Package, error) {
 		for p := range f.stdImp {
 			roots = append(roots, p)
 		}
+		sort.Strings(roots) // stable go list argv, stable command cache
 		listed, err := goList(root, roots)
 		if err != nil {
 			return nil, err

@@ -1,0 +1,74 @@
+// Fixtures for the lockguard analyzer: fields mutex-guarded in one
+// function but bare in another, must-analysis at branch merges, the
+// embedded-mutex form, and mixed atomic/direct access.
+package locktest
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *counter) inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *counter) incDeferred() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+func (c *counter) get() int {
+	return c.n // want `field n is mutex-guarded at 3 other site`
+}
+
+func (c *counter) maybeLocked(b bool) {
+	if b {
+		c.mu.Lock()
+	}
+	c.n++ // want `field n is mutex-guarded at 3 other site`
+	if b {
+		c.mu.Unlock()
+	}
+}
+
+func (c *counter) reset() {
+	c.mu.Lock()
+	c.n = 0
+	c.mu.Unlock()
+	c.n = 0 // want `field n is mutex-guarded at 2 other site`
+}
+
+type registry struct {
+	sync.Mutex
+	entries map[string]int
+}
+
+func (r *registry) add(k string) {
+	r.Lock()
+	r.entries[k]++
+	r.Unlock()
+}
+
+func (r *registry) size() int {
+	return len(r.entries) // want `field entries is mutex-guarded at 1 other site`
+}
+
+type stats struct {
+	reqs int64
+}
+
+func record(s *stats) {
+	atomic.AddInt64(&s.reqs, 1)
+}
+
+func (s *stats) snapshot() int64 {
+	return s.reqs // want `field reqs is accessed atomically at 1 other site`
+}

@@ -1,0 +1,77 @@
+// Negative cases: disciplined locking that must stay quiet.
+// want:none
+package locktest
+
+import "sync"
+
+type box struct {
+	mu  sync.Mutex
+	val int
+}
+
+func (b *box) set(v int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.val = v
+}
+
+func (b *box) swap(v int) int {
+	b.mu.Lock()
+	old := b.val
+	b.val = v
+	b.mu.Unlock()
+	return old
+}
+
+// applyLocked runs with b.mu held by the caller.
+//
+//lockguard:held mu
+func (b *box) applyLocked(f func(int) int) {
+	b.val = f(b.val)
+}
+
+func (b *box) eitherBranchLocks(x bool) {
+	if x {
+		b.mu.Lock()
+	} else {
+		b.mu.Lock()
+	}
+	b.val++
+	b.mu.Unlock()
+}
+
+func (b *box) async() {
+	go func() {
+		b.mu.Lock()
+		b.val++
+		b.mu.Unlock()
+	}()
+}
+
+func newBox(v int) *box {
+	b := &box{}
+	b.val = v // not yet published: no lock needed
+	return b
+}
+
+type config struct {
+	mu    sync.Mutex
+	state int
+	name  string
+}
+
+func (c *config) bump() {
+	c.mu.Lock()
+	c.state++
+	c.mu.Unlock()
+}
+
+func (c *config) rename(n string) {
+	c.mu.Lock()
+	c.state++
+	c.name = n // incidentally under the lock; name's discipline is bare
+	c.mu.Unlock()
+}
+
+func (c *config) label() string  { return c.name }
+func (c *config) label2() string { return c.name }

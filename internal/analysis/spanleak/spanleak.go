@@ -1,0 +1,281 @@
+// Package spanleak verifies — lostcancel-style, on the control-flow
+// graph — that every span-like handle opened in a function is closed
+// on every path to the function's exit. A leaked obs.Tracer span
+// never lands in the trace_event export, so -trace output silently
+// undercounts the very passes it exists to count; a leaked histogram
+// timer skews the quantiles the paper's serving-path numbers quote.
+//
+// The handle contract is structural, not a hard-coded list: a call to
+// a function or method whose name begins with "Start" that returns a
+// value whose (possibly pointer) type has a niladic End method opens
+// a handle; that handle must reach a h.End() call — inline on every
+// path, or deferred — before the function exits. Handles that escape
+// (returned, passed to another call, stored in a field or another
+// variable, captured by a closure) transfer the obligation to the
+// escapee and are not flagged. Paths that die in a panic or os.Exit
+// are vacuously closed, matching x/tools' lostcancel.
+//
+// Assigning the End-bearing result to the blank identifier is always
+// flagged: a handle that was never bound can never be closed.
+package spanleak
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"tradeoff/internal/analysis/dataflow"
+	"tradeoff/internal/analysis/lint"
+	"tradeoff/internal/analysis/typeutil"
+)
+
+// Analyzer is the spanleak check.
+var Analyzer = &lint.Analyzer{
+	Name: "spanleak",
+	Doc:  "flags Start*-style handles (obs spans, timers) not closed with End() on every path to the function's exit",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				checkBody(pass, fn.Body)
+			}
+		}
+	}
+	return nil
+}
+
+// checkBody analyzes one function body and recurses into nested
+// function literals (each literal gets its own graph: a handle opened
+// inside a closure must close inside that closure or escape from it).
+func checkBody(pass *lint.Pass, body *ast.BlockStmt) {
+	g := dataflow.New(body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			checkBody(pass, n.Body)
+			return false
+		case *ast.AssignStmt:
+			checkAssign(pass, g, body, n)
+		}
+		return true
+	})
+}
+
+// checkAssign inspects one assignment for handle-opening calls.
+func checkAssign(pass *lint.Pass, g *dataflow.Graph, body *ast.BlockStmt, assign *ast.AssignStmt) {
+	if len(assign.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+	if !ok || !isStartCall(pass, call) {
+		return
+	}
+	// Which results carry an End method? Match them to LHS positions.
+	sig, ok := pass.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len() && i < len(assign.Lhs); i++ {
+		if !hasEnd(res.At(i).Type()) {
+			continue
+		}
+		id, ok := assign.Lhs[i].(*ast.Ident)
+		if !ok {
+			continue // assigned into a field/index: escapes
+		}
+		if id.Name == "_" {
+			pass.Reportf(id.Pos(), "handle from %s is discarded; it can never be closed with End()", callName(call))
+			continue
+		}
+		obj := objectOf(pass, id)
+		if obj == nil || escapes(pass, body, assign, obj) {
+			continue
+		}
+		endsHandle := func(n ast.Node) bool { return isEndCall(pass, n, obj) }
+		if !g.MustReachExit(assign, endsHandle) {
+			pass.Reportf(assign.Pos(), "handle %s from %s is not closed with End() on every path to the function's exit; defer %s.End() after opening it", id.Name, callName(call), id.Name)
+		}
+	}
+}
+
+// isStartCall reports whether call opens a handle: its callee's name
+// begins with "Start" and some result type carries End().
+func isStartCall(pass *lint.Pass, call *ast.CallExpr) bool {
+	fn := typeutil.Callee(pass.TypesInfo, call)
+	if fn == nil || !strings.HasPrefix(fn.Name(), "Start") {
+		return false
+	}
+	sig, ok := pass.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if hasEnd(sig.Results().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// hasEnd reports whether t (or *t) has a niladic End() method.
+func hasEnd(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	// For a non-pointer, non-interface type the pointer method set is
+	// what a variable of the type can call.
+	if _, isPtr := types.Unalias(t).(*types.Pointer); !isPtr && !types.IsInterface(t) {
+		t = types.NewPointer(t)
+	}
+	ms := types.NewMethodSet(t)
+	for i := 0; i < ms.Len(); i++ {
+		m := ms.At(i).Obj().(*types.Func)
+		if m.Name() != "End" {
+			continue
+		}
+		sig := m.Type().(*types.Signature)
+		if sig.Params().Len() == 0 && sig.Results().Len() == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// isEndCall reports whether n is a call h.End() whose receiver
+// resolves to obj.
+func isEndCall(pass *lint.Pass, n ast.Node, obj types.Object) bool {
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	return ok && pass.TypesInfo.Uses[id] == obj
+}
+
+// objectOf resolves an assigned identifier through Defs (:=) or Uses
+// (=).
+func objectOf(pass *lint.Pass, id *ast.Ident) types.Object {
+	if obj := pass.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Uses[id]
+}
+
+// escapes reports whether the handle object is used anywhere in the
+// body in a way that transfers the close obligation: as a call
+// argument, in a return statement, on the right side of another
+// assignment, sent to a channel, or captured by a function literal.
+// Method calls on the handle itself (h.SetArg(...), h.End()) do not
+// escape.
+func escapes(pass *lint.Pass, body *ast.BlockStmt, opening *ast.AssignStmt, obj types.Object) bool {
+	anyUse := func(e ast.Node) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	escaped := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if escaped {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if anyUse(n.Body) {
+				escaped = true
+			}
+			return false
+		case *ast.CallExpr:
+			// Arguments escape; the method receiver does not.
+			for _, arg := range n.Args {
+				if receiverOnlyUse(pass, arg, obj) {
+					escaped = true
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if receiverOnlyUse(pass, r, obj) {
+					escaped = true
+				}
+			}
+		case *ast.SendStmt:
+			if receiverOnlyUse(pass, n.Value, obj) {
+				escaped = true
+			}
+		case *ast.AssignStmt:
+			if n == opening {
+				return true
+			}
+			for _, rhs := range n.Rhs {
+				if receiverOnlyUse(pass, rhs, obj) {
+					escaped = true
+				}
+			}
+		case *ast.CompositeLit:
+			for _, e := range n.Elts {
+				if receiverOnlyUse(pass, e, obj) {
+					escaped = true
+				}
+			}
+		}
+		return !escaped
+	})
+	return escaped
+}
+
+// receiverOnlyUse reports whether e uses obj anywhere outside a
+// method-receiver position: `h.M(args)` does not forward the handle,
+// but `f(h)`, `x = h`, `ch <- h` and `T{h}` do.
+func receiverOnlyUse(pass *lint.Pass, e ast.Node, obj types.Object) bool {
+	found := false
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if found {
+				return false
+			}
+			if call, ok := m.(*ast.CallExpr); ok {
+				if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+					if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+						for _, a := range call.Args {
+							walk(a)
+						}
+						return false // the receiver itself is benign
+					}
+				}
+			}
+			if id, ok := m.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+				found = true
+			}
+			return !found
+		})
+	}
+	walk(e)
+	return found
+}
+
+// callName renders the callee for diagnostics.
+func callName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if x, ok := fun.X.(*ast.Ident); ok {
+			return x.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	}
+	return "call"
+}

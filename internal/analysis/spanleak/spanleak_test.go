@@ -1,0 +1,12 @@
+package spanleak_test
+
+import (
+	"testing"
+
+	"tradeoff/internal/analysis/analysistest"
+	"tradeoff/internal/analysis/spanleak"
+)
+
+func TestSpanleak(t *testing.T) {
+	analysistest.Run(t, "testdata", spanleak.Analyzer, "spantest")
+}

@@ -1,0 +1,109 @@
+// Package spantest exercises the spanleak analyzer: Start* calls
+// returning End()-bearing handles must close on every path.
+package spantest
+
+import "context"
+
+// Span mimics obs.Span: an End()-bearing handle.
+type Span struct{ name string }
+
+func (s *Span) End()                   {}
+func (s *Span) SetArg(k string, v any) {}
+
+// Timer mimics a histogram timer handle.
+type Timer struct{}
+
+func (t *Timer) End() {}
+
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	return ctx, &Span{name: name}
+}
+
+func StartTimer() *Timer { return &Timer{} }
+
+// NewSpan does not match the Start* contract: no obligation tracked.
+func NewSpan() *Span { return &Span{} }
+
+func use(v any) {}
+
+func okDeferred(ctx context.Context) {
+	_, span := StartSpan(ctx, "ok")
+	defer span.End()
+	use(span.name)
+}
+
+func okAllPaths(ctx context.Context, a int) {
+	_, span := StartSpan(ctx, "ok")
+	if a > 0 {
+		span.End()
+		return
+	}
+	span.End()
+}
+
+func okStraightLine(ctx context.Context) {
+	_, span := StartSpan(ctx, "ok")
+	span.SetArg("k", 1)
+	span.End()
+}
+
+func leakEarlyReturn(ctx context.Context, a int) {
+	_, span := StartSpan(ctx, "leak") // want `handle span from StartSpan is not closed with End\(\) on every path`
+	if a > 0 {
+		return
+	}
+	span.End()
+}
+
+func leakOneBranch(ctx context.Context, a int) {
+	timer := StartTimer() // want `handle timer from StartTimer is not closed with End\(\) on every path`
+	if a > 0 {
+		timer.End()
+	}
+}
+
+func leakDiscarded(ctx context.Context) {
+	ctx, _ = StartSpan(ctx, "discarded") // want `handle from StartSpan is discarded`
+	_ = ctx
+}
+
+func leakNever(ctx context.Context) {
+	timer := StartTimer() // want `handle timer from StartTimer is not closed with End\(\) on every path`
+	if timer != nil {
+		println("opened")
+	}
+}
+
+func okPanicPath(ctx context.Context, a int) {
+	_, span := StartSpan(ctx, "ok")
+	if a > 0 {
+		panic("boom")
+	}
+	span.End()
+}
+
+func okEscapesReturn(ctx context.Context) *Timer {
+	t := StartTimer()
+	return t // obligation transfers to the caller
+}
+
+func okEscapesClosure(ctx context.Context) func() {
+	t := StartTimer()
+	return func() { t.End() }
+}
+
+func okLoopCloses(ctx context.Context, n int) {
+	for i := 0; i < n; i++ {
+		t := StartTimer()
+		t.End()
+	}
+}
+
+func leakInsideClosure(ctx context.Context) func() {
+	return func() {
+		t := StartTimer() // want `handle t from StartTimer is not closed with End\(\) on every path`
+		_ = t.name2()
+	}
+}
+
+func (t *Timer) name2() string { return "" }

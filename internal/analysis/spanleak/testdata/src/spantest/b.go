@@ -1,0 +1,45 @@
+// Negative cases: span handling idioms that must stay quiet.
+// want:none
+package spantest
+
+import "context"
+
+func cleanDeferredWithArgs(ctx context.Context, items []int) {
+	_, span := StartSpan(ctx, "batch")
+	defer span.End()
+	for _, it := range items {
+		span.SetArg("last", it)
+	}
+}
+
+func cleanSwitchAllPaths(ctx context.Context, mode int) {
+	_, span := StartSpan(ctx, "mode")
+	switch mode {
+	case 0:
+		span.End()
+	default:
+		span.End()
+	}
+}
+
+func cleanHandleEscapesToHelper(ctx context.Context) {
+	t := StartTimer()
+	closeLater(t)
+}
+
+func closeLater(t *Timer) { t.End() }
+
+func cleanConstructorNotStart(ctx context.Context) {
+	s := NewSpan() // New* carries no obligation under the Start* contract
+	_ = s
+}
+
+func cleanSelectBothArms(ctx context.Context, ch chan int) {
+	t := StartTimer()
+	select {
+	case <-ch:
+		t.End()
+	case <-ctx.Done():
+		t.End()
+	}
+}

@@ -7,19 +7,29 @@ package suite
 
 import (
 	"tradeoff/internal/analysis/ctxflow"
+	"tradeoff/internal/analysis/detorder"
 	"tradeoff/internal/analysis/errdrop"
 	"tradeoff/internal/analysis/floatcmp"
+	"tradeoff/internal/analysis/hotalloc"
 	"tradeoff/internal/analysis/lint"
+	"tradeoff/internal/analysis/lockguard"
 	"tradeoff/internal/analysis/metricreg"
 	"tradeoff/internal/analysis/paramdomain"
+	"tradeoff/internal/analysis/spanleak"
 )
 
 // Analyzers is the full tradeoffvet suite, in the order findings are
-// attributed when several fire on one line.
+// attributed when several fire on one line. The first five are
+// AST-local; the last four are flow-sensitive, built on the CFG and
+// solvers in internal/analysis/dataflow.
 var Analyzers = []*lint.Analyzer{
 	paramdomain.Analyzer,
 	floatcmp.Analyzer,
 	ctxflow.Analyzer,
 	errdrop.Analyzer,
 	metricreg.Analyzer,
+	spanleak.Analyzer,
+	lockguard.Analyzer,
+	detorder.Analyzer,
+	hotalloc.Analyzer,
 }

@@ -169,6 +169,8 @@ func (m *Memo[V]) Put(key string, val V) {
 // end until both bounds hold. An entry alone too large for the byte
 // budget is evicted immediately — returned to its caller but never
 // cached.
+//
+//lockguard:held mu
 func (m *Memo[V]) add(key string, val V) {
 	var n int64
 	if m.size != nil {

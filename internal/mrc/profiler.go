@@ -159,6 +159,9 @@ func NewProfiler(lineSize int) (*Profiler, error) {
 // Access records one reference. Loads and stores are profiled alike:
 // under write-allocate both promote their block to the top of the LRU
 // stack, which is what makes the curve match the simulator exactly.
+// Runs once per reference: the profiler's entire runtime.
+//
+//perf:hot
 func (p *Profiler) Access(addr uint64) {
 	p.refs++
 	d := p.tree.access(addr >> p.lineShift)
@@ -167,6 +170,7 @@ func (p *Profiler) Access(addr uint64) {
 		return
 	}
 	for d >= len(p.hist) {
+		//lint:ignore hotalloc amortized growth: the histogram doubles O(log maxDepth) times over the whole trace, not per access
 		p.hist = append(p.hist, make([]uint64, len(p.hist)+64)...)
 	}
 	p.hist[d]++
@@ -186,6 +190,8 @@ func (p *Profiler) Curve() *Curve {
 
 // ProfileRefs builds the exact curve of a materialized trace at one
 // line size.
+//
+//perf:hot
 func ProfileRefs(refs []trace.Ref, lineSize int) (*Curve, error) {
 	p, err := NewProfiler(lineSize)
 	if err != nil {
@@ -199,6 +205,8 @@ func ProfileRefs(refs []trace.Ref, lineSize int) (*Curve, error) {
 
 // ProfileSource streams up to n references from src through an exact
 // profiler — no trace materialization, O(uniqueBlocks) memory.
+//
+//perf:hot
 func ProfileSource(src trace.Source, n, lineSize int) (*Curve, error) {
 	p, err := NewProfiler(lineSize)
 	if err != nil {

@@ -199,10 +199,14 @@ type engine struct {
 	res Result
 }
 
-// replay processes the trace.
+// replay processes the trace. One iteration per reference: this loop
+// is the simulator's entire runtime.
+//
+//perf:hot
 func (e *engine) replay(refs []trace.Ref) error {
 	for i, r := range refs {
 		if e.started && r.Instr <= e.lastInstr {
+			//lint:ignore hotalloc cold path: boxing happens once, on the malformed trace that aborts the replay
 			return fmt.Errorf("%w (ref %d: %d after %d)", errInstrOrder, i, r.Instr, e.lastInstr)
 		}
 		// Instruction progress: one cycle per instruction since the
@@ -239,7 +243,9 @@ func (e *engine) replay(refs []trace.Ref) error {
 }
 
 // retire drops outstanding fills that have completed by the current
-// cycle, preserving age order.
+// cycle, preserving age order. Runs once per reference.
+//
+//perf:hot
 func (e *engine) retire() {
 	n := 0
 	for _, f := range e.fills {
@@ -269,7 +275,10 @@ func (e *engine) stallFill(at int64) {
 }
 
 // onHit applies the feature-specific stall rules for an access that hit
-// in the cache while a fill may be outstanding (§3.2).
+// in the cache while a fill may be outstanding (§3.2). Runs once per
+// hitting reference.
+//
+//perf:hot
 func (e *engine) onHit(r trace.Ref) {
 	if len(e.fills) == 0 {
 		return
