@@ -220,6 +220,8 @@ func BenchmarkSweepParallel(b *testing.B) { benchSweepEngine(b, 0) }
 // the tentpole claim of internal/mrc: re-simulation pays one trace pass
 // per design point, the miss-ratio-curve sources pay one pass per line
 // size (4 here) and answer the remaining 60 points from the curves.
+// The analytic source ("an:ear") pays no trace passes at all — every
+// point is priced from internal/model's closed forms.
 // Each iteration uses a fresh curve cache (sweep.Run owns one per
 // call), so the profiling cost is inside the measurement.
 func benchSweep64(b *testing.B, source string) {
@@ -245,6 +247,7 @@ func benchSweep64(b *testing.B, source string) {
 func BenchmarkSweepSim(b *testing.B)        { benchSweep64(b, "sim:ear") }
 func BenchmarkSweepMRC(b *testing.B)        { benchSweep64(b, "mrc:ear") }
 func BenchmarkSweepMRCSampled(b *testing.B) { benchSweep64(b, "mrc~:ear") }
+func BenchmarkSweepModel(b *testing.B)      { benchSweep64(b, "an:ear") }
 
 func BenchmarkTradeoffHandlerCached(b *testing.B) {
 	s := service.New(service.Options{})

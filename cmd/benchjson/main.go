@@ -93,6 +93,7 @@ var benchmarks = []struct {
 	{"sweep_sim_64pt", benchSweep("sim:ear")},
 	{"sweep_mrc_64pt", benchSweep("mrc:ear")},
 	{"sweep_mrc_sampled_64pt", benchSweep("mrc~:ear")},
+	{"sweep_model_64pt", benchSweep("an:ear")},
 	{"mrc_pass_20k", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	tradeoffd [-addr :8080] [-workers 0] [-cache 256] [-cache-mb 32] [-drain 10s]
-//	          [-log-level info] [-pprof]
+//	          [-log-level info] [-pprof] [-xval 0]
 //
 // Sweeps run on the shared engine.Map worker pool and stall grids on
 // the internal/simjob replay pool, which materializes each workload
@@ -23,6 +23,13 @@
 // key=value access-log line on stderr; -log-level selects verbosity
 // (debug, info, warn, error). -pprof exposes net/http/pprof under
 // /debug/pprof/ — off by default since the profiles reveal internals.
+//
+// -xval enables the continuous cross-validation loop: every interval
+// one (workload, line size) pair from the rotation is re-validated —
+// analytic model vs exact MRC vs a set-associative replay — and the
+// resulting error gauges are published on /metrics (expvar "xval",
+// Prometheus tradeoffd_xval_* with ?format=prom). Off by default
+// (interval 0) since it burns a few milliseconds of CPU per pass.
 //
 // Examples:
 //
@@ -56,15 +63,16 @@ func main() {
 		drain   = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 		level   = flag.String("log-level", "info", "log verbosity: debug, info, warn, error")
 		pprof   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+		xval    = flag.Duration("xval", 0, "model cross-validation interval (0 = off)")
 	)
 	flag.Parse()
-	if err := run(*addr, *workers, *entries, *cacheMB<<20, *drain, *level, *pprof); err != nil {
+	if err := run(*addr, *workers, *entries, *cacheMB<<20, *drain, *level, *pprof, *xval); err != nil {
 		fmt.Fprintln(os.Stderr, "tradeoffd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, entries int, cacheBytes int64, drain time.Duration, level string, pprof bool) error {
+func run(addr string, workers, entries int, cacheBytes int64, drain time.Duration, level string, pprof bool, xval time.Duration) error {
 	lv, err := obs.ParseLevel(level)
 	if err != nil {
 		return err
@@ -90,6 +98,11 @@ func run(addr string, workers, entries int, cacheBytes int64, drain time.Duratio
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if xval > 0 {
+		logger.Info("cross-validation loop on", "interval", xval.String())
+		go svc.RunXVal(ctx, xval)
+	}
 
 	select {
 	case err := <-errc:

@@ -37,7 +37,7 @@ import (
 // Analyzer is the paramdomain check.
 var Analyzer = &lint.Analyzer{
 	Name: "paramdomain",
-	Doc:  "flags core.Params/sweep.Config/simjob.Grid/mrc.SamplerConfig constructions whose constant fields violate the paper's parameter domains (α ∈ [0,1], βm ≥ 1, L ≥ D > 0, sampling rate ∈ (0,1], …) and core.Params built without a reachable Validate() call",
+	Doc:  "flags core.Params/sweep.Config/simjob.Grid/mrc.SamplerConfig/model.Spec constructions whose constant fields violate the paper's parameter domains (α ∈ [0,1], βm ≥ 1, L ≥ D > 0, sampling rate ∈ (0,1], mode ∈ {exact, model, auto}, error bounds ∈ (0,1], …) and core.Params built without a reachable Validate() call",
 	Run:  run,
 }
 
@@ -104,10 +104,18 @@ type ruledStruct struct {
 	// elems gives the domain each element of a slice-valued field must
 	// satisfy, checked for constant entries of an inline []T literal.
 	elems map[string]domain
+	// enums gives the allowed constant values of a string-valued field
+	// ("" always means "use the default" and must be listed explicitly
+	// when it is legal).
+	enums map[string][]string
 	// needsValidate marks the type whose construction requires a
 	// reachable Validate()/domain-check call in the same function.
 	needsValidate bool
 }
+
+// modeEnum is the sweep/stall pricing-mode knob shared by
+// sweep.Config and simjob.Grid ("" selects exact).
+var modeEnum = []string{"", "exact", "model", "auto"}
 
 // rules encodes Table 1's domains (core.Params), the sweep engine's
 // config domain (zero selects a default, so only negatives are
@@ -140,6 +148,7 @@ var rules = []*ruledStruct{
 			"MRCRate":    interval(0, 1),
 			"MRCBudget":  atLeast(0),
 		},
+		enums: map[string][]string{"Mode": modeEnum},
 	},
 	{
 		// The stall grid's scalar knobs reject negatives (zero selects a
@@ -159,6 +168,10 @@ var rules = []*ruledStruct{
 			"BusBytes":   positive(),
 			"BetaM":      atLeast(1),
 			"WbufDepths": atLeast(0),
+		},
+		enums: map[string][]string{
+			"Mode":      modeEnum,
+			"WriteMiss": {"", "allocate", "around"},
 		},
 	},
 	{
@@ -187,6 +200,27 @@ var rules = []*ruledStruct{
 		fields: map[string]domain{
 			"LineSize": positive(),
 			"Refs":     positive(),
+		},
+	},
+	{
+		// An analytic-model curve spec: same shape as mrc.Spec, same
+		// domains.
+		pkgElem: "model", name: "Spec",
+		fields: map[string]domain{
+			"LineSize": positive(),
+			"Refs":     positive(),
+		},
+	},
+	{
+		// A cross-validation report: hit-ratio errors and the committed
+		// error bound are fractions of a ratio in [0, 1]; a budget of 0
+		// (or above 1) could never be met (or never fail) and marks a
+		// hand-built report as bogus.
+		pkgElem: "model", name: "Report",
+		fields: map[string]domain{
+			"MaxAbs":  interval(0, 1),
+			"MeanAbs": interval(0, 1),
+			"Budget":  {min: 0, max: 1, minExcl: true},
 		},
 	},
 }
@@ -246,6 +280,9 @@ func checkLiteral(pass *lint.Pass, lit *ast.CompositeLit) {
 		}
 		if d, ruled := rule.elems[name]; ruled {
 			checkSliceElems(pass, rule.name, name, d, value)
+		}
+		if allowed, ruled := rule.enums[name]; ruled {
+			checkEnum(pass, rule.name, name, allowed, value)
 		}
 		v, isConst := constFloat(pass, value)
 		if !isConst {
@@ -308,6 +345,9 @@ func checkFieldWrites(pass *lint.Pass, assign *ast.AssignStmt) {
 		if rule == nil {
 			continue
 		}
+		if allowed, ruled := rule.enums[sel.Sel.Name]; ruled {
+			checkEnum(pass, rule.name, sel.Sel.Name, allowed, assign.Rhs[i])
+		}
 		d, ruled := rule.fields[sel.Sel.Name]
 		if !ruled {
 			continue
@@ -316,6 +356,28 @@ func checkFieldWrites(pass *lint.Pass, assign *ast.AssignStmt) {
 			pass.Reportf(assign.Rhs[i].Pos(), "%s.%s = %g outside its domain %s", rule.name, sel.Sel.Name, v, d)
 		}
 	}
+}
+
+// checkEnum verifies a constant string field against its allowed
+// values, e.g. Config.Mode = "approximate".
+func checkEnum(pass *lint.Pass, structName, fieldName string, allowed []string, value ast.Expr) {
+	s, isConst := constString(pass, value)
+	if !isConst {
+		return
+	}
+	for _, a := range allowed {
+		if s == a {
+			return
+		}
+	}
+	quoted := make([]string, 0, len(allowed))
+	for _, a := range allowed {
+		if a != "" { // "" is the default, not something to suggest
+			quoted = append(quoted, fmt.Sprintf("%q", a))
+		}
+	}
+	pass.Reportf(value.Pos(), "%s.%s = %q, want one of %s (or empty for the default)",
+		structName, fieldName, s, strings.Join(quoted, ", "))
 }
 
 // checkValidateReachable reports non-empty core.Params literals in
@@ -375,4 +437,13 @@ func constFloat(pass *lint.Pass, e ast.Expr) (float64, bool) {
 		return v, true
 	}
 	return 0, false
+}
+
+// constString resolves e to a constant string value.
+func constString(pass *lint.Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
 }

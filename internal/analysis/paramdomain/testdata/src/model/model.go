@@ -1,0 +1,21 @@
+// Package model is a fixture stand-in for tradeoff/internal/model.
+package model
+
+type Spec struct {
+	Workload string
+	Seed     uint64
+	Refs     int
+	LineSize int
+}
+
+type Report struct {
+	Workload string
+	LineSize int
+	Refs     int
+	Points   int
+	MaxAbs   float64
+	MeanAbs  float64
+	MaxAssoc float64
+	Budget   float64
+	Within   bool
+}

@@ -2,6 +2,7 @@ package paramtest
 
 import (
 	"core"
+	"model"
 	"mrc"
 	"simjob"
 	"sweep"
@@ -114,6 +115,41 @@ func positionalLiteral() {
 	if p.Validate() == nil {
 		use(p)
 	}
+}
+
+func useModelSpec(s model.Spec) {}
+func useReport(r model.Report)  {}
+
+func modeEnums() {
+	c := sweep.Config{
+		SimRefs: 20000,
+		Mode:    "approximate", // want `Config.Mode = "approximate", want one of "exact", "model", "auto" \(or empty for the default\)`
+	}
+	c.Mode = "model" // in the enum: fine
+	c.Mode = "Model" // want `Config.Mode = "Model", want one of "exact", "model", "auto" \(or empty for the default\)`
+	useCfg(c)
+
+	g := simjob.Grid{
+		Mode:      "auto",
+		WriteMiss: "write-back", // want `Grid.WriteMiss = "write-back", want one of "allocate", "around" \(or empty for the default\)`
+	}
+	g.Mode = "sim" // want `Grid.Mode = "sim", want one of "exact", "model", "auto" \(or empty for the default\)`
+	useGrid(g)
+}
+
+func modelDomains() {
+	useModelSpec(model.Spec{
+		Workload: "nasa7",
+		Refs:     0,  // want `Spec.Refs = 0 outside its domain \(0, \+inf\)`
+		LineSize: 32, // fine
+	})
+	useReport(model.Report{
+		Workload: "nasa7",
+		MaxAbs:   1.5,   // want `Report.MaxAbs = 1.5 outside its domain \[0, 1\]`
+		MeanAbs:  -0.01, // want `Report.MeanAbs = -0.01 outside its domain \[0, 1\]`
+		Budget:   0,     // want `Report.Budget = 0 outside its domain \(0, 1\]`
+	})
+	useReport(model.Report{Workload: "zipf", MaxAbs: 0.02, MeanAbs: 0.01, Budget: 0.04, Within: true})
 }
 
 func suppressed() core.Params {

@@ -15,6 +15,7 @@ type Grid struct {
 
 	Assoc     int
 	WriteMiss string
+	Mode      string
 	Pipelined bool
 	Q         int64
 	MSHRs     int

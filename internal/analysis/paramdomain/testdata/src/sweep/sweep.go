@@ -14,4 +14,6 @@ type Config struct {
 	SimRefs    int
 	MRCRate    float64
 	MRCBudget  int
+	HitSource  string
+	Mode       string
 }

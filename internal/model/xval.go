@@ -1,0 +1,145 @@
+package model
+
+import (
+	"context"
+	"fmt"
+
+	"tradeoff/internal/cache"
+	"tradeoff/internal/mrc"
+	"tradeoff/internal/obs"
+	"tradeoff/internal/trace"
+)
+
+// Report is the outcome of one cross-validation pass for one
+// (workload, line size): the model's absolute hit-ratio error against
+// the exact MRC tier over a cache-size grid, and — because exact MRC
+// equals the fully-associative simulator bit for bit, making a
+// separate replay check redundant there — against a set-associative
+// replay, which exercises the Smith-corrected path the sweep engine
+// actually serves.
+type Report struct {
+	Workload string  `json:"workload"`
+	LineSize int     `json:"line_size"`
+	Refs     int     `json:"refs"`
+	Points   int     `json:"points"`
+	MaxAbs   float64 `json:"max_abs_err"`       // model vs exact MRC, fully associative
+	MeanAbs  float64 `json:"mean_abs_err"`      // model vs exact MRC, fully associative
+	MaxAssoc float64 `json:"max_abs_err_assoc"` // model (Smith) vs set-associative replay
+	Budget   float64 `json:"error_budget"`      // the committed bound for this workload
+	Within   bool    `json:"within_budget"`     // MaxAbs ≤ Budget
+}
+
+// DefaultSizes is the cross-validation cache-size grid: every power
+// of two from 1 KiB to 64 KiB, the paper's Table 3 span.
+func DefaultSizes() []int {
+	sizes := make([]int, 0, 7)
+	for s := 1 << 10; s <= 64<<10; s <<= 1 {
+		sizes = append(sizes, s)
+	}
+	return sizes
+}
+
+// ErrorBound returns the committed maximum absolute hit-ratio error
+// of the analytic tier vs. exact MRC for a covered workload — the
+// epsilon table of DESIGN.md §5.8, pinned in CI by TestCrossValidate
+// and re-measured live by the service's validation loop. Unknown
+// workloads return 1 (no guarantee).
+//
+// The bounds are measured maxima over DefaultSizes × Table-3 line
+// sizes {16, 32, 64, 128} across several seeds and trace lengths
+// (see errorBudget), rounded up with ≈30% headroom. Loop-nest workloads (sequential/stencil dominated) model
+// tightest; doduc's drifting working set and wave5's huge
+// pointer-chase distances are the loosest. swm256 carries the known
+// stride-aliasing caveat from §5.6 on top of this fully-associative
+// bound: its 2 KiB row stride aliases power-of-two set indexing, so
+// the Smith-corrected assoc comparison is pinned separately (see
+// TestCrossValidateSwm256Aliasing).
+func ErrorBound(workload string) float64 {
+	if b, ok := errorBudget[workload]; ok {
+		return b
+	}
+	return 1
+}
+
+// errorBudget is the committed epsilon table (see ErrorBound).
+// Measured worst cases over seeds {7, 1994, 2025} × refs {50k, 100k,
+// 200k} × line sizes {16, 32, 64, 128} × DefaultSizes: nasa7 0.076,
+// swm256 0.045, wave5 0.005, ear 0.034, doduc 0.078, hydro2d 0.029,
+// zipf 0.019.
+var errorBudget = map[string]float64{
+	trace.Nasa7:   0.10,
+	trace.Swm256:  0.07,
+	trace.Wave5:   0.02,
+	trace.Ear:     0.05,
+	trace.Doduc:   0.11,
+	trace.Hydro2D: 0.05,
+	trace.Zipf:    0.04,
+}
+
+// CrossValidate runs one validation pass: it builds the analytic
+// curve and the exact MRC curve for (workload, seed, refs, lineSize),
+// compares hit ratios over sizes (DefaultSizes when nil), and replays
+// an assoc-way simulation at the grid's median size to check the
+// Smith-corrected path. Each pass opens an "xval_pass" span so a
+// -trace export shows validation work next to serving work.
+func CrossValidate(ctx context.Context, workload string, seed uint64, refs, lineSize, assoc int, sizes []int) (Report, error) {
+	ctx, span := obs.StartSpan(ctx, "xval_pass")
+	defer span.End()
+	span.SetArg("workload", workload)
+	span.SetArg("line_size", lineSize)
+
+	if len(sizes) == 0 {
+		sizes = DefaultSizes()
+	}
+	an, err := CurveFor(Spec{Workload: workload, Seed: seed, Refs: refs, LineSize: lineSize})
+	if err != nil {
+		return Report{}, err
+	}
+	src, err := trace.NewWorkload(workload, seed)
+	if err != nil {
+		return Report{}, err
+	}
+	exact, err := mrc.ProfileSource(src, refs, lineSize)
+	if err != nil {
+		return Report{}, err
+	}
+
+	r := Report{Workload: workload, LineSize: lineSize, Refs: refs,
+		Points: len(sizes), Budget: ErrorBound(workload)}
+	for _, size := range sizes {
+		if err := ctx.Err(); err != nil {
+			return Report{}, err
+		}
+		diff := an.HitRatio(size) - exact.HitRatio(size)
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > r.MaxAbs {
+			r.MaxAbs = diff
+		}
+		r.MeanAbs += diff / float64(len(sizes))
+	}
+
+	// Replay leg: one set-associative simulation at the median size.
+	if assoc > 0 {
+		size := sizes[len(sizes)/2]
+		sim, err := cache.New(cache.Config{Size: size, LineSize: lineSize, Assoc: assoc})
+		if err != nil {
+			return Report{}, err
+		}
+		replaySrc, err := trace.NewWorkload(workload, seed)
+		if err != nil {
+			return Report{}, err
+		}
+		hr := cache.MeasureSource(sim, replaySrc, refs).HitRatio
+		diff := an.HitRatioAssoc(size, assoc) - hr
+		if diff < 0 {
+			diff = -diff
+		}
+		r.MaxAssoc = diff
+	}
+
+	r.Within = r.MaxAbs <= r.Budget
+	span.SetArg("max_abs_err", fmt.Sprintf("%.4f", r.MaxAbs))
+	return r, nil
+}

@@ -1,0 +1,176 @@
+package model
+
+import (
+	"math"
+
+	"tradeoff/internal/trace"
+)
+
+// zipfModel prices the independent-reference Zipf stream
+// (trace.ZipfReuse) by Che's approximation. The generator draws a
+// continuous rank k = (u(n^{1−θ}−1)+1)^{1/(1−θ)} and truncates, so
+// unit i has probability p_i = F(i+1) − F(i) under the same
+// continuous CDF F — the model integrates the generator's own
+// sampling math, not an idealized Zipf pmf. Ranks are bucketed (the
+// hot head exactly, the tail geometrically).
+//
+// Line granularity: the generator's pseudo-random permutation packs
+// g = L/32 units per line. In expectation over a random grouping, a
+// line stays untouched through a T-reference window with probability
+// Π(1−p_i)^T over its units ≈ (1−p_k)^T · φ(T)^{g−1} for the line
+// containing unit k, where φ(T) = E_unit[(1−p)^T] — the cohabitants
+// are g−1 independent draws from the unit-popularity distribution,
+// which preserves the heavy tail the earlier mean-cohabitant
+// shortcut flattened. For L < 32, g < 1: each unit splits into 1/g
+// sub-lines of popularity p·g with no cohabitants.
+//
+// For an IRM stream, the stack distance behind a gap of T references
+// is D(T) = expected distinct lines touched meanwhile,
+// (n/g)(1 − φ(T)^g) (Che's characteristic-time argument, inverted to
+// build the histogram rather than solve one cache size). Sweeping T
+// over a log grid up to the trace length converts (recurrence mass
+// in gap window) → (weight at distance D(T)); the mass beyond the
+// trace length is exactly the compulsory-miss mass.
+// zipfSameUnitProb is the probability two consecutive references of
+// the stream land on the same unit, Σ p_i² under the generator's
+// truncated continuous CDF — the collision mass the stall tier uses
+// for its same-line touch probability. Bucketed like zipfModel: the
+// head ranks exactly, the tail in geometric ranges (Σ p²/cnt per
+// bucket, exact when the bucket's units share one popularity).
+func zipfSameUnitProb(cfg trace.ZipfReuseConfig) float64 {
+	nUnits := cfg.Lines
+	theta := cfg.Theta
+	var F func(x float64) float64
+	if math.Abs(theta-1) < 1e-9 {
+		logN := math.Log(float64(nUnits))
+		F = func(x float64) float64 { return math.Log(x) / logN }
+	} else {
+		om := 1 - theta
+		nPow := math.Pow(float64(nUnits), om)
+		F = func(x float64) float64 { return (math.Pow(x, om) - 1) / (nPow - 1) }
+	}
+	head := nUnits
+	if head > 96 {
+		head = 96
+	}
+	sum := 0.0
+	for k := 1; k <= head; k++ {
+		p := F(float64(k+1)) - F(float64(k))
+		sum += p * p
+	}
+	for lo := head + 1; lo <= nUnits; {
+		hi := int(math.Ceil(float64(lo) * 1.3))
+		if hi > nUnits {
+			hi = nUnits
+		}
+		p := F(float64(hi+1)) - F(float64(lo))
+		if p > 0 {
+			sum += p * p / float64(hi-lo+1)
+		}
+		lo = hi + 1
+	}
+	return sum
+}
+
+func zipfModel(cfg trace.ZipfReuseConfig, lineSize int, n float64) compModel {
+	nUnits := cfg.Lines
+	unit := float64(cfg.LineBytes)
+	theta := cfg.Theta
+	g := float64(lineSize) / unit // units per line (may be < 1)
+	if g < 1 {
+		g = 1 // sub-line case folds into the g=1 formulas with scaled q
+	}
+	split := math.Max(1, unit/float64(lineSize)) // sub-lines per unit (L < 32)
+
+	// Continuous CDF of the generator's inverse sampling.
+	var F func(x float64) float64
+	if math.Abs(theta-1) < 1e-9 {
+		logN := math.Log(float64(nUnits))
+		F = func(x float64) float64 { return math.Log(x) / logN }
+	} else {
+		om := 1 - theta
+		nPow := math.Pow(float64(nUnits), om)
+		F = func(x float64) float64 { return (math.Pow(x, om) - 1) / (nPow - 1) }
+	}
+
+	// Rank buckets: exact head, geometric tail. q is the popularity of
+	// one (sub-)line slot of a bucket unit; lnq = log1p(−q) is hoisted
+	// out of the knot loop.
+	type bucket struct {
+		p   float64 // total reference probability of the bucket's units
+		cnt float64 // units in the bucket
+		lnq float64
+	}
+	var buckets []bucket
+	addBucket := func(lo, hi int) {
+		cnt := float64(hi - lo + 1)
+		p := F(float64(hi+1)) - F(float64(lo))
+		if p <= 0 {
+			return
+		}
+		buckets = append(buckets, bucket{p: p, cnt: cnt, lnq: math.Log1p(-p / cnt / split)})
+	}
+	head := nUnits
+	if head > 96 {
+		head = 96
+	}
+	for k := 1; k <= head; k++ {
+		addBucket(k, k)
+	}
+	for lo := head + 1; lo <= nUnits; {
+		hi := int(math.Ceil(float64(lo) * 1.3))
+		if hi > nUnits {
+			hi = nUnits
+		}
+		addBucket(lo, hi)
+		lo = hi + 1
+	}
+
+	units := float64(nUnits) * split // (sub-)line slots
+	phi := func(T float64) float64 { // E over slots of (1−q)^T
+		s := 0.0
+		for _, b := range buckets {
+			s += b.cnt * split * math.Exp(T*b.lnq)
+		}
+		return s / units
+	}
+	dist := func(T float64) float64 { // D(T): distinct lines in a T-ref window
+		return units / g * -math.Expm1(g*math.Log(phi(T)))
+	}
+
+	var m compModel
+	// Log grid of recurrence-gap knots from 1 to the trace length.
+	const knots = 72
+	lnMax := math.Log(math.Max(2, n))
+	prevT := 0.0
+	prevPhiG := 1.0 // φ(prevT)^{g−1}
+	for i := 1; i <= knots; i++ {
+		T := math.Exp(float64(i) / knots * lnMax)
+		if T <= prevT {
+			continue
+		}
+		mid := math.Sqrt(math.Max(1, prevT) * T) // geometric midpoint
+		d := dist(mid)
+		phiG := math.Pow(phi(T), g-1)
+		w := 0.0
+		for _, b := range buckets {
+			// Mass of refs to this bucket whose *line* recurrence gap
+			// falls in (prevT, T]: the unit itself and its g−1
+			// cohabitants must all be silent for the gap to extend.
+			w += n * b.p * (math.Exp(prevT*b.lnq)*prevPhiG - math.Exp(T*b.lnq)*phiG)
+		}
+		if w > 0 {
+			m.entries = append(m.entries, entry{d: d, gap: mid, w: w})
+		}
+		prevT = T
+		prevPhiG = phiG
+	}
+	// Recurrences longer than the trace are first touches.
+	sum := 0.0
+	for _, e := range m.entries {
+		sum += e.w
+	}
+	m.cold = math.Max(0, n-sum)
+	m.ws = dist
+	return m
+}

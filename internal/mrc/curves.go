@@ -86,7 +86,7 @@ type CurveCache struct {
 // maxBytes of resident curve data; bounds <= 0 are unlimited, matching
 // engine.NewMemo.
 func NewCurveCache(maxEntries int, maxBytes int64) *CurveCache {
-	return &CurveCache{memo: engine.NewMemo(maxEntries, maxBytes, (*Curve).memoryBytes)}
+	return &CurveCache{memo: engine.NewMemo(maxEntries, maxBytes, (*Curve).MemoryBytes)}
 }
 
 // Get returns the curve for spec, profiling it on first use. The

@@ -122,6 +122,16 @@ func (c *Curve) hitWeight(lines int) float64 {
 // write-allocate): hit counts are integers and the final division is
 // the same float64(hits)/float64(refs) the simulator performs. An
 // empty curve returns 0, matching cache.Stats.HitRatio.
+//
+// Edge-case contract (pinned by TestCurveEdgeCases, honored by
+// analytic curves too): cacheSize is floored to whole lines, so a
+// size that is not a multiple of LineSize prices the largest
+// realizable cache below it — cacheSize < LineSize holds zero lines
+// and returns 0. The simulator rejects such geometries outright
+// (cache.Config.Validate wants power-of-two Size ≥ LineSize); the
+// curve generalizes them instead of erroring so sweeps can price
+// arbitrary byte budgets, and agrees with the simulator exactly on
+// every geometry the simulator accepts.
 func (c *Curve) HitRatio(cacheSize int) float64 {
 	if c.Refs == 0 || c.totalW <= 0 {
 		return 0
@@ -145,6 +155,13 @@ func (c *Curve) MissRatio(cacheSize int) float64 {
 // the same set, each independently with probability 1/S. The model is
 // exact for one set and approximate otherwise; DESIGN.md §5.6 states
 // the tolerance the tests pin.
+//
+// Edge-case contract (pinned by TestCurveEdgeCases): assoc ≥ lines
+// degenerates to the fully-associative HitRatio (the simulator
+// rejects assoc > lines; the curve clamps). When assoc does not
+// divide lines — another geometry the simulator rejects — the curve
+// prices the largest realizable cache: S = floor(lines/assoc) sets,
+// identical to evaluating a cache of S·assoc lines.
 func (c *Curve) HitRatioAssoc(cacheSize, assoc int) float64 {
 	if c.Refs == 0 || c.totalW <= 0 {
 		return 0
@@ -196,9 +213,10 @@ func (c *Curve) MaxDistance() uint64 {
 	return c.dist[len(c.dist)-1]
 }
 
-// memoryBytes estimates the curve's resident size for byte-bounded
-// memoization.
-func (c *Curve) memoryBytes() int64 {
+// MemoryBytes estimates the curve's resident size for byte-bounded
+// memoization (mrc.CurveCache and model.Cache both size entries
+// with it).
+func (c *Curve) MemoryBytes() int64 {
 	return int64(len(c.dist))*24 + 128
 }
 

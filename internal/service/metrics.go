@@ -2,6 +2,7 @@ package service
 
 import (
 	"bytes"
+	"encoding/json"
 	"expvar"
 	"fmt"
 	"net/http"
@@ -34,6 +35,13 @@ type metrics struct {
 	durationsMu sync.Mutex
 	durations   map[string]*obs.Histogram
 
+	// xval is the latest cross-validation sample per workload from the
+	// continuous model-vs-exact loop (Server.RunXVal), plus the pass
+	// counter; rendered as live error gauges in both formats.
+	xvalMu     sync.Mutex
+	xval       map[string]xvalSample
+	xvalPasses int64
+
 	// engine carries the engine-level instruments (queue wait,
 	// evaluation time, memo outcomes); the request middleware threads
 	// it into every request context so engine.Map and engine.Memo
@@ -46,9 +54,49 @@ type metrics struct {
 }
 
 func newMetrics() *metrics {
-	m := &metrics{durations: make(map[string]*obs.Histogram)}
+	m := &metrics{
+		durations: make(map[string]*obs.Histogram),
+		xval:      make(map[string]xvalSample),
+	}
 	m.endpoints.Init()
 	return m
+}
+
+// xvalSample is one workload's latest cross-validation outcome: the
+// model's hit-ratio error against the exact MRC tier at the pass's
+// line size, next to the committed budget.
+type xvalSample struct {
+	LineSize int     `json:"line_size"`
+	MaxAbs   float64 `json:"max_abs_err"`
+	MeanAbs  float64 `json:"mean_abs_err"`
+	Budget   float64 `json:"error_budget"`
+	Within   bool    `json:"within_budget"`
+}
+
+// recordXVal stores the latest sample for a workload and advances the
+// pass counter.
+func (m *metrics) recordXVal(workload string, s xvalSample) {
+	m.xvalMu.Lock()
+	defer m.xvalMu.Unlock()
+	m.xval[workload] = s
+	m.xvalPasses++
+}
+
+// xvalSnapshot copies the current cross-validation state: the pass
+// count and the samples in sorted workload order.
+func (m *metrics) xvalSnapshot() (int64, []string, []xvalSample) {
+	m.xvalMu.Lock()
+	defer m.xvalMu.Unlock()
+	names := make([]string, 0, len(m.xval))
+	for name := range m.xval {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	samples := make([]xvalSample, len(names))
+	for i, name := range names {
+		samples[i] = m.xval[name]
+	}
+	return m.xvalPasses, names, samples
 }
 
 // duration returns (creating on first use) the endpoint's request
@@ -104,6 +152,12 @@ type histVar struct {
 }
 
 func (v histVar) String() string { return strconv.FormatInt(v.f(v.h), 10) }
+
+// rawVar renders pre-marshaled JSON as an expvar.Var, so composite
+// documents (the xval sample map) slot into the hand-built doc.
+type rawVar []byte
+
+func (v rawVar) String() string { return string(v) }
 
 // statusWriter captures the response status for error accounting
 // while keeping the wrapped writer's optional interfaces reachable:
@@ -190,6 +244,15 @@ func (m *metrics) serveHTTP(w http.ResponseWriter, r *http.Request) {
 	if m.cacheBytes != nil {
 		cacheBytes.Set(m.cacheBytes())
 	}
+	passes, _, _ := m.xvalSnapshot()
+	var xvalPasses expvar.Int
+	xvalPasses.Set(passes)
+	m.xvalMu.Lock()
+	xvalDoc, err := json.Marshal(m.xval) // map keys render sorted
+	m.xvalMu.Unlock()
+	if err != nil {
+		xvalDoc = []byte("{}")
+	}
 	vars := []struct {
 		name string
 		v    expvar.Var
@@ -201,6 +264,8 @@ func (m *metrics) serveHTTP(w http.ResponseWriter, r *http.Request) {
 		{"cache_bytes", &cacheBytes},
 		{"in_flight", &m.inFlight},
 		{"endpoints", &m.endpoints},
+		{"xval_passes", &xvalPasses},
+		{"xval", rawVar(xvalDoc)},
 	}
 	sort.Slice(vars, func(i, j int) bool { return vars[i].name < vars[j].name })
 	var buf bytes.Buffer

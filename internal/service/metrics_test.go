@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"net/http"
@@ -11,6 +12,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"tradeoff/internal/trace"
 )
 
 // TestStatusWriterForwardsFlush is the streaming regression test: a
@@ -104,6 +107,8 @@ func TestPrometheusGolden(t *testing.T) {
 	s.stats.MemoMiss.Add(2)
 	s.stats.MemoShared.Add(1)
 	s.cache.Put("k", cachedResponse{contentType: "t", body: []byte("0123456789")})
+	s.metrics.recordXVal("nasa7", xvalSample{LineSize: 32, MaxAbs: 0.0625, MeanAbs: 0.03125, Budget: 0.1, Within: true})
+	s.metrics.recordXVal("zipf", xvalSample{LineSize: 64, MaxAbs: 0.015625, MeanAbs: 0.0078125, Budget: 0.04, Within: true})
 
 	rec := httptest.NewRecorder()
 	s.metrics.serveHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics?format=prom", nil))
@@ -127,6 +132,59 @@ func TestPrometheusGolden(t *testing.T) {
 	}
 	if string(body) != string(want) {
 		t.Fatalf("prometheus exposition differs from golden\ngot:\n%s\nwant:\n%s", body, want)
+	}
+}
+
+// TestXValLoop runs two passes of the continuous cross-validation
+// rotation against the live model and MRC tiers, then checks the
+// errors surface as labeled gauges in the Prometheus exposition and
+// as the "xval" document in the expvar JSON — the acceptance check
+// for the model-vs-exact loop.
+func TestXValLoop(t *testing.T) {
+	s := New(Options{})
+	ctx := context.Background()
+	s.xvalPass(ctx, 0)
+	s.xvalPass(ctx, 1)
+
+	ws := trace.Workloads()
+	rec := httptest.NewRecorder()
+	s.metrics.serveHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics?format=prom", nil))
+	body := rec.Body.String()
+	if !strings.Contains(body, "tradeoffd_xval_passes_total 2") {
+		t.Fatalf("pass counter not exported:\n%s", body)
+	}
+	for _, w := range ws[:2] {
+		for _, gauge := range []string{"tradeoffd_xval_max_abs_error", "tradeoffd_xval_mean_abs_error", "tradeoffd_xval_error_budget"} {
+			prefix := gauge + `{workload="` + w + `"} `
+			if !strings.Contains(body, prefix) {
+				t.Errorf("no %s series for %q:\n%s", gauge, w, body)
+			}
+		}
+	}
+
+	rec = httptest.NewRecorder()
+	s.metrics.serveHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	var doc struct {
+		Passes int64                 `json:"xval_passes"`
+		XVal   map[string]xvalSample `json:"xval"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("metrics JSON: %v\n%s", err, rec.Body.String())
+	}
+	if doc.Passes != 2 || len(doc.XVal) != 2 {
+		t.Fatalf("xval_passes = %d, samples = %d, want 2 and 2", doc.Passes, len(doc.XVal))
+	}
+	for _, w := range ws[:2] {
+		sm, ok := doc.XVal[w]
+		if !ok {
+			t.Fatalf("no xval sample for %q: %v", w, doc.XVal)
+		}
+		if !sm.Within || sm.MaxAbs > sm.Budget {
+			t.Errorf("%s: live pass over budget: max %.4f budget %.4f", w, sm.MaxAbs, sm.Budget)
+		}
+		if sm.LineSize != xvalLineSizes[0] {
+			t.Errorf("%s: line size %d, want rotation start %d", w, sm.LineSize, xvalLineSizes[0])
+		}
 	}
 }
 

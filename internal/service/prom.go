@@ -37,6 +37,26 @@ func (m *metrics) servePrometheus(w http.ResponseWriter) {
 	promGauge(&buf, "tradeoffd_cache_bytes", "Bytes held by the response memo.", cacheBytes)
 	promGauge(&buf, "tradeoffd_in_flight", "Requests currently being served.", m.inFlight.Value())
 
+	// Continuous cross-validation: pass counter plus the latest
+	// per-workload hit-ratio error of the analytic model against the
+	// exact MRC tier, next to the committed epsilon budget.
+	passes, xvalNames, xvalSamples := m.xvalSnapshot()
+	promCounter(&buf, "tradeoffd_xval_passes_total", "Cross-validation passes completed by the model-vs-exact loop.", passes)
+	for _, g := range []struct {
+		name, help string
+		get        func(xvalSample) float64
+	}{
+		{"tradeoffd_xval_max_abs_error", "Largest |model - exact| hit-ratio error of the workload's latest validation pass.", func(s xvalSample) float64 { return s.MaxAbs }},
+		{"tradeoffd_xval_mean_abs_error", "Mean |model - exact| hit-ratio error of the workload's latest validation pass.", func(s xvalSample) float64 { return s.MeanAbs }},
+		{"tradeoffd_xval_error_budget", "Committed hit-ratio error budget for the workload (model.ErrorBound).", func(s xvalSample) float64 { return s.Budget }},
+	} {
+		fmt.Fprintf(&buf, "# HELP %s %s\n# TYPE %s gauge\n", g.name, g.help, g.name)
+		for i, name := range xvalNames {
+			fmt.Fprintf(&buf, "%s{workload=%q} %s\n", g.name, name,
+				strconv.FormatFloat(g.get(xvalSamples[i]), 'g', -1, 64))
+		}
+	}
+
 	// Per-endpoint counters, one labeled series per endpoint in sorted
 	// order (expvar.Map.Do iterates sorted keys).
 	for _, counter := range []string{"requests", "errors", "evaluations"} {

@@ -54,10 +54,12 @@ import (
 
 	"tradeoff/internal/core"
 	"tradeoff/internal/engine"
+	"tradeoff/internal/model"
 	"tradeoff/internal/mrc"
 	"tradeoff/internal/obs"
 	"tradeoff/internal/simjob"
 	"tradeoff/internal/sweep"
+	"tradeoff/internal/trace"
 )
 
 // maxBodyBytes bounds request payloads; a sweep config is a few
@@ -107,6 +109,7 @@ type Server struct {
 	stats   *obs.EngineStats
 	runner  *simjob.Runner
 	curves  *mrc.CurveCache
+	models  *model.Cache
 }
 
 // New builds a Server with its routes registered.
@@ -135,6 +138,9 @@ func New(opts Options) *Server {
 		// Miss-ratio curves survive across /v1/sweep requests: 64 curves
 		// (≈ a few sweeps' worth of line sizes) within 64 MiB.
 		curves: mrc.NewCurveCache(64, 64<<20),
+		// Analytic model curves are tiny (knot tables); the cache mostly
+		// saves the µs-scale rebuild per (workload, line size).
+		models: model.NewCache(64, 16<<20),
 	}
 	s.metrics.cacheBytes = s.cache.Bytes
 	s.metrics.engine = s.stats
@@ -357,10 +363,15 @@ func evalTradeoff(req TradeoffRequest) (TradeoffResponse, error) {
 	return resp, nil
 }
 
-// SweepResponse is the JSON shape of POST /v1/sweep.
+// SweepResponse is the JSON shape of POST /v1/sweep. ErrorBound is
+// present only when the sweep was answered by the analytic model tier
+// (hit source "an:<workload>" after mode resolution): the committed
+// maximum absolute hit-ratio error of that workload's model against
+// the exact MRC tier (model.ErrorBound).
 type SweepResponse struct {
 	Count       int            `json:"count"`
 	ParetoCount int            `json:"pareto_count"`
+	ErrorBound  float64        `json:"error_bound,omitempty"`
 	Designs     []sweep.Design `json:"designs"`
 }
 
@@ -372,19 +383,31 @@ func (s *Server) sweepEndpoint() endpoint[sweep.Config, []sweep.Design] {
 		limits: func(cfg sweep.Config) error { return cfg.CheckLimits(s.opts.Limits) },
 		key:    sweep.Config.Canonical,
 		run: func(ctx context.Context, cfg sweep.Config) ([]sweep.Design, error) {
-			return sweep.RunCurves(ctx, cfg, s.opts.Workers, s.curves)
+			return sweep.RunCaches(ctx, cfg, s.opts.Workers, sweep.Caches{Curves: s.curves, Models: s.models})
 		},
 		encodeJSON: func(ds []sweep.Design) any {
-			return SweepResponse{Count: len(ds), ParetoCount: sweep.ParetoCount(ds), Designs: ds}
+			resp := SweepResponse{Count: len(ds), ParetoCount: sweep.ParetoCount(ds), Designs: ds}
+			if len(ds) > 0 {
+				// The effective hit source is uniform across a sweep, so
+				// the first design speaks for all of them.
+				if _, w, ok := sweep.SourceWorkload(ds[0].HitSource); ok && ds[0].HitSource == "an:"+w {
+					resp.ErrorBound = model.ErrorBound(w)
+				}
+			}
+			return resp
 		},
 		encodeCSV: func(w io.Writer, ds []sweep.Design) error { return sweep.WriteCSV(w, ds) },
 	}
 }
 
-// StallResponse is the JSON shape of POST /v1/stall.
+// StallResponse is the JSON shape of POST /v1/stall. ErrorBounds maps
+// each workload that was priced analytically (point source
+// "an:<workload>" after mode resolution) to its committed hit-ratio
+// error budget — the miss counts behind those points inherit it.
 type StallResponse struct {
-	Count  int                  `json:"count"`
-	Points []simjob.PointResult `json:"points"`
+	Count       int                  `json:"count"`
+	ErrorBounds map[string]float64   `json:"error_bounds,omitempty"`
+	Points      []simjob.PointResult `json:"points"`
 }
 
 // stallEndpoint registers POST /v1/stall on the shared pipeline.
@@ -398,9 +421,79 @@ func (s *Server) stallEndpoint() endpoint[simjob.Grid, []simjob.PointResult] {
 			return s.runner.RunGrid(ctx, g, s.opts.Workers)
 		},
 		encodeJSON: func(ps []simjob.PointResult) any {
-			return StallResponse{Count: len(ps), Points: ps}
+			resp := StallResponse{Count: len(ps), Points: ps}
+			for _, p := range ps {
+				if p.Source == "an:"+p.Program {
+					if resp.ErrorBounds == nil {
+						resp.ErrorBounds = make(map[string]float64)
+					}
+					resp.ErrorBounds[p.Program] = model.ErrorBound(p.Program)
+				}
+			}
+			return resp
 		},
 		encodeCSV: func(w io.Writer, ps []simjob.PointResult) error { return simjob.WriteCSV(w, ps) },
+	}
+}
+
+// xvalLineSizes is the rotating line-size schedule of the continuous
+// cross-validation loop — the paper's Table 3 span.
+var xvalLineSizes = []int{16, 32, 64, 128}
+
+// xvalRefs is the trace length of one validation pass: long enough to
+// exercise every generator's steady state, short enough that a pass
+// costs milliseconds.
+const xvalRefs = 30_000
+
+// RunXVal runs the continuous cross-validation loop until ctx is
+// cancelled: one pass immediately, then one per interval, rotating
+// through every covered workload × Table-3 line size. Each pass
+// compares the analytic model against the exact MRC tier (plus a
+// set-associative replay leg, inside model.CrossValidate's "xval_pass"
+// span) and publishes the errors as live gauges on /metrics. A pass
+// failure is recorded and logged, never fatal — the loop is telemetry,
+// not control flow. Intervals <= 0 disable the loop.
+func (s *Server) RunXVal(ctx context.Context, interval time.Duration) {
+	if interval <= 0 {
+		return
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for i := 0; ; i++ {
+		s.xvalPass(ctx, i)
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// xvalPass runs pass i of the rotation and records its outcome.
+func (s *Server) xvalPass(ctx context.Context, i int) {
+	ws := trace.Workloads()
+	w := ws[i%len(ws)]
+	line := xvalLineSizes[(i/len(ws))%len(xvalLineSizes)]
+	ctx = obs.WithEngineStats(ctx, s.stats)
+	rep, err := model.CrossValidate(ctx, w, 1994, xvalRefs, line, 2, nil)
+	if err != nil {
+		if s.opts.Logger != nil && ctx.Err() == nil {
+			s.opts.Logger.Warn("xval pass failed", "workload", w, "line_size", line, "err", err.Error())
+		}
+		return
+	}
+	s.metrics.recordXVal(w, xvalSample{
+		LineSize: rep.LineSize,
+		MaxAbs:   rep.MaxAbs,
+		MeanAbs:  rep.MeanAbs,
+		Budget:   rep.Budget,
+		Within:   rep.Within,
+	})
+	if s.opts.Logger != nil && !rep.Within {
+		s.opts.Logger.Warn("xval over budget",
+			"workload", w, "line_size", line,
+			"max_abs_err", fmt.Sprintf("%.4f", rep.MaxAbs),
+			"budget", fmt.Sprintf("%.4f", rep.Budget))
 	}
 }
 

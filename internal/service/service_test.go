@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"tradeoff/internal/core"
+	"tradeoff/internal/model"
 	"tradeoff/internal/simjob"
 	"tradeoff/internal/sweep"
 )
@@ -200,6 +201,67 @@ func TestSweepEndpointJSONAndCSV(t *testing.T) {
 		t.Fatalf("service CSV differs from the serial golden output:\n%s", body)
 	}
 	_ = s
+}
+
+// TestModeModelEndToEnd drives the mode knob through both HTTP
+// endpoints: mode "model" re-prices an exact hit source from the
+// analytic tier, the designs/points carry the "an:<workload>" stamp,
+// and the responses surface the committed error bound.
+func TestModeModelEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	sweepCfg := `{"cache_kb":[8,16],"line_bytes":[32],"bus_bits":[32],
+		"latency_ns":360,"transfer_ns":60,"cpu_ns":30,
+		"hit_source":"mrc:nasa7","mode":"model"}`
+	resp, body := post(t, ts.URL+"/v1/sweep", sweepCfg)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep status %d: %s", resp.StatusCode, body)
+	}
+	var sr SweepResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if want := model.ErrorBound("nasa7"); sr.ErrorBound != want {
+		t.Fatalf("sweep error_bound = %v, want %v", sr.ErrorBound, want)
+	}
+	for _, d := range sr.Designs {
+		if d.HitSource != "an:nasa7" {
+			t.Fatalf("design hit_source = %q, want an:nasa7", d.HitSource)
+		}
+	}
+
+	// The exact path must not advertise a bound.
+	resp, body = post(t, ts.URL+"/v1/sweep", strings.Replace(sweepCfg, `"model"`, `"exact"`, 1))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("exact sweep status %d: %s", resp.StatusCode, body)
+	}
+	var exact SweepResponse
+	if err := json.Unmarshal(body, &exact); err != nil {
+		t.Fatal(err)
+	}
+	if exact.ErrorBound != 0 {
+		t.Fatalf("exact sweep error_bound = %v, want omitted", exact.ErrorBound)
+	}
+
+	stallCfg := `{"programs":["nasa7","ear"],"refs":2000,"beta_m":[4],"mode":"model"}`
+	resp, body = post(t, ts.URL+"/v1/stall", stallCfg)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stall status %d: %s", resp.StatusCode, body)
+	}
+	var st StallResponse
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range st.Points {
+		if p.Source != "an:"+p.Program {
+			t.Fatalf("point source = %q, want an:%s", p.Source, p.Program)
+		}
+	}
+	for _, w := range []string{"nasa7", "ear"} {
+		if st.ErrorBounds[w] != model.ErrorBound(w) {
+			t.Fatalf("stall error_bounds[%s] = %v, want %v", w, st.ErrorBounds[w], model.ErrorBound(w))
+		}
+	}
 }
 
 func TestSweepMemoized(t *testing.T) {

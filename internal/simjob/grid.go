@@ -10,7 +10,9 @@ import (
 	"tradeoff/internal/cache"
 	"tradeoff/internal/engine"
 	"tradeoff/internal/memory"
+	"tradeoff/internal/model"
 	"tradeoff/internal/stall"
+	"tradeoff/internal/sweep"
 	"tradeoff/internal/trace"
 )
 
@@ -38,6 +40,15 @@ type Grid struct {
 	MSHRs     int    `json:"mshrs"`      // outstanding misses for NB (0 means 1)
 
 	Warm bool `json:"warm"` // measure from a warmed cache (see Options.Warm)
+
+	// Mode selects the evaluation tier, mirroring sweep.Config.Mode:
+	// "exact" (default) replays every point cycle by cycle; "model"
+	// answers every point from the analytic tier (internal/model,
+	// first-order stall arithmetic — see model.EstimateStall for the
+	// documented accuracy budget) and errors if a program is not
+	// covered; "auto" uses the model where covered and falls back to
+	// replay otherwise.
+	Mode string `json:"mode"`
 }
 
 // ExampleGrid is the example payload `tradeoffd` documents for
@@ -90,6 +101,9 @@ func (g *Grid) SetDefaults() {
 	if g.WriteMiss == "" {
 		g.WriteMiss = "allocate"
 	}
+	if g.Mode == "" {
+		g.Mode = sweep.ModeExact
+	}
 }
 
 // Validate reports grids outside the engine's domain. It assumes
@@ -118,6 +132,11 @@ func (g *Grid) Validate() error {
 	if g.WriteMiss != "allocate" && g.WriteMiss != "around" {
 		return fmt.Errorf("simjob: write_miss %q, want \"allocate\" or \"around\"", g.WriteMiss)
 	}
+	switch g.Mode {
+	case sweep.ModeExact, sweep.ModeModel, sweep.ModeAuto:
+	default:
+		return fmt.Errorf("simjob: mode %q, want %q, %q or %q", g.Mode, sweep.ModeExact, sweep.ModeModel, sweep.ModeAuto)
+	}
 	for _, d := range g.WbufDepths {
 		if d < 0 {
 			return fmt.Errorf("simjob: wbuf_depths entry %d, want >= 0", d)
@@ -137,9 +156,13 @@ type Point struct {
 	WbufDepth int    `json:"wbuf_depth"`
 }
 
-// PointResult pairs a design point with its measured decomposition.
+// PointResult pairs a design point with its measured (or modeled)
+// decomposition. Source records the tier that produced it after Mode
+// resolution: "replay" for a cycle-level replay, "an:<program>" for
+// the analytic estimate.
 type PointResult struct {
 	Point
+	Source string       `json:"source"`
 	Result stall.Result `json:"result"`
 }
 
@@ -204,8 +227,11 @@ func (g *Grid) job(p Point) (Job, error) {
 	}, nil
 }
 
-// RunGrid enumerates the grid and measures every point on the
-// runner's pool, returning results in enumeration order.
+// RunGrid enumerates the grid and evaluates every point, returning
+// results in enumeration order. Mode routes each point: replay points
+// run on the runner's pool; analytic points (mode "model", or "auto"
+// over a covered program) are priced inline by model.EstimateStall —
+// microseconds per point, so they need no pool at all.
 func (r *Runner) RunGrid(ctx context.Context, g Grid, workers int) ([]PointResult, error) {
 	g.SetDefaults()
 	if err := g.Validate(); err != nil {
@@ -215,21 +241,55 @@ func (r *Runner) RunGrid(ctx context.Context, g Grid, workers int) ([]PointResul
 	if len(pts) == 0 {
 		return nil, fmt.Errorf("simjob: empty design grid (every line < D or > cache?)")
 	}
-	jobs := make([]Job, len(pts))
+	analytic := make([]bool, len(pts))
+	if g.Mode != sweep.ModeExact {
+		for i, p := range pts {
+			if model.Covered(p.Program) {
+				analytic[i] = true
+			} else if g.Mode == sweep.ModeModel {
+				return nil, fmt.Errorf("simjob: mode %q: no analytic model covers program %q; use mode %q to fall back",
+					sweep.ModeModel, p.Program, sweep.ModeAuto)
+			}
+		}
+	}
+
+	out := make([]PointResult, len(pts))
+	var jobs []Job
+	var jobIdx []int
 	for i, p := range pts {
+		if analytic[i] {
+			f, err := stall.ParseFeature(p.Feature)
+			if err != nil {
+				return nil, err
+			}
+			res, err := model.EstimateStall(ctx, model.StallSpec{
+				Workload: p.Program, Seed: g.Seed, Refs: g.Refs,
+				CacheKB: p.CacheKB, LineBytes: p.LineBytes, BusBytes: p.BusBytes,
+				BetaM: p.BetaM, Assoc: g.Assoc, Feature: f,
+				Pipelined: g.Pipelined, Q: g.Q,
+				WriteMiss: g.WriteMiss, WbufDepth: p.WbufDepth,
+			}, r.models)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = PointResult{Point: p, Source: "an:" + p.Program, Result: res}
+			continue
+		}
 		j, err := g.job(p)
 		if err != nil {
 			return nil, err
 		}
-		jobs[i] = j
+		jobs = append(jobs, j)
+		jobIdx = append(jobIdx, i)
 	}
-	results, err := r.Run(ctx, jobs, Options{Workers: workers, Warm: g.Warm})
-	if err != nil {
-		return nil, err
-	}
-	out := make([]PointResult, len(pts))
-	for i := range pts {
-		out[i] = PointResult{Point: pts[i], Result: results[i]}
+	if len(jobs) > 0 {
+		results, err := r.Run(ctx, jobs, Options{Workers: workers, Warm: g.Warm})
+		if err != nil {
+			return nil, err
+		}
+		for k, i := range jobIdx {
+			out[i] = PointResult{Point: pts[i], Source: "replay", Result: results[k]}
+		}
 	}
 	return out, nil
 }
@@ -294,7 +354,7 @@ func (g Grid) Canonical() ([]byte, error) {
 // full Result decomposition.
 func WriteCSV(w io.Writer, rs []PointResult) error {
 	header := []string{
-		"program", "feature", "cache_kb", "line_bytes", "bus_bytes", "beta_m", "wbuf_depth",
+		"program", "feature", "cache_kb", "line_bytes", "bus_bytes", "beta_m", "wbuf_depth", "source",
 		"refs", "misses", "e", "cycles", "base_cycles",
 		"fill_stall", "bus_wait", "flush_stall", "write_stall", "hidden_flush", "buffer_full", "conflict",
 		"phi", "phi_fraction", "traffic",
@@ -305,6 +365,7 @@ func WriteCSV(w io.Writer, rs []PointResult) error {
 			r.Program, r.Feature,
 			strconv.Itoa(r.CacheKB), strconv.Itoa(r.LineBytes), strconv.Itoa(r.BusBytes),
 			strconv.FormatInt(r.BetaM, 10), strconv.Itoa(r.WbufDepth),
+			r.Source,
 			strconv.FormatUint(r.Result.Refs, 10),
 			strconv.FormatUint(r.Result.Misses, 10),
 			strconv.FormatUint(r.Result.E, 10),

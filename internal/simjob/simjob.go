@@ -22,6 +22,7 @@ import (
 
 	"tradeoff/internal/cache"
 	"tradeoff/internal/engine"
+	"tradeoff/internal/model"
 	"tradeoff/internal/obs"
 	"tradeoff/internal/stall"
 	"tradeoff/internal/trace"
@@ -107,11 +108,16 @@ type Options struct {
 type Runner struct {
 	traces *TraceCache
 	warm   *engine.Memo[*cache.Cache]
+	models *model.Cache // analytic curves for the grid's model tier
 }
 
 // NewRunner returns a Runner with empty caches.
 func NewRunner() *Runner {
-	return &Runner{traces: NewTraceCache(), warm: engine.NewMemo[*cache.Cache](0, 0, nil)}
+	return &Runner{
+		traces: NewTraceCache(),
+		warm:   engine.NewMemo[*cache.Cache](0, 0, nil),
+		models: model.NewCache(64, 16<<20),
+	}
 }
 
 // Traces exposes the runner's trace cache (for metrics and tests).

@@ -6,7 +6,9 @@ import (
 	"encoding/json"
 	"testing"
 
+	"tradeoff/internal/model"
 	"tradeoff/internal/stall"
+	"tradeoff/internal/sweep"
 	"tradeoff/internal/trace"
 )
 
@@ -44,7 +46,7 @@ func serialGrid(t *testing.T, g Grid) []PointResult {
 		if err != nil {
 			t.Fatal(err)
 		}
-		out[i] = PointResult{Point: p, Result: res}
+		out[i] = PointResult{Point: p, Source: "replay", Result: res}
 	}
 	return out
 }
@@ -253,5 +255,62 @@ func TestCanonicalStable(t *testing.T) {
 	}
 	if !bytes.Equal(a, b) {
 		t.Fatalf("canonical keys differ:\n%s\n%s", a, b)
+	}
+}
+
+// TestGridModeModel pins the stall grid's mode knob: mode "model"
+// prices every point from the analytic tier (stamped "an:<program>",
+// byte-identical to calling model.EstimateStall directly), "auto"
+// resolves the same way while every named program is covered, and
+// an unknown mode is rejected at validation.
+func TestGridModeModel(t *testing.T) {
+	g := testGrid()
+	g.Mode = sweep.ModeModel
+	r := NewRunner()
+	got, err := r.RunGrid(context.Background(), g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gd := g
+	gd.SetDefaults()
+	for _, pr := range got {
+		if want := "an:" + pr.Program; pr.Source != want {
+			t.Fatalf("mode=model point source = %q, want %q", pr.Source, want)
+		}
+		f, err := stall.ParseFeature(pr.Feature)
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct, err := model.EstimateStall(context.Background(), model.StallSpec{
+			Workload: pr.Program, Seed: gd.Seed, Refs: gd.Refs,
+			CacheKB: pr.CacheKB, LineBytes: pr.LineBytes, BusBytes: pr.BusBytes,
+			BetaM: pr.BetaM, Assoc: gd.Assoc, Feature: f,
+			WriteMiss: gd.WriteMiss, WbufDepth: pr.WbufDepth,
+		}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pr.Result != direct {
+			t.Fatalf("mode=model point %+v differs from direct EstimateStall:\n%+v\nvs\n%+v", pr.Point, pr.Result, direct)
+		}
+	}
+
+	g.Mode = sweep.ModeAuto
+	auto, err := r.RunGrid(context.Background(), g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range auto {
+		if auto[i] != got[i] {
+			t.Fatalf("mode=auto point %d differs from mode=model (all programs are covered)", i)
+		}
+	}
+	if r.Traces().Generated() != 0 {
+		t.Fatalf("analytic modes materialized %d traces, want 0", r.Traces().Generated())
+	}
+
+	g.Mode = "approximate"
+	if _, err := r.RunGrid(context.Background(), g, 4); err == nil {
+		t.Fatal("unknown mode accepted")
 	}
 }

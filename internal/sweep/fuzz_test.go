@@ -1,8 +1,9 @@
 package sweep
 
 import (
-	"strings"
 	"testing"
+
+	"tradeoff/internal/trace"
 )
 
 // FuzzSpaceConfig fuzzes the JSON config parser/validator the HTTP
@@ -21,9 +22,17 @@ func FuzzSpaceConfig(f *testing.F) {
 		if err != nil {
 			return
 		}
-		// Accepted configs are fully defaulted and in-domain.
-		if cfg.HitSource != "model" && !strings.HasPrefix(cfg.HitSource, "sim:") {
-			t.Fatalf("accepted config has hit_source %q", cfg.HitSource)
+		// Accepted configs are fully defaulted and in-domain: any
+		// prefixed hit source names a known workload, and the mode
+		// knob is one of the three enum values.
+		if cfg.HitSource != "model" {
+			_, name, ok := SourceWorkload(cfg.HitSource)
+			if !ok || len(trace.ValidWorkloads([]string{name})) > 0 {
+				t.Fatalf("accepted config has hit_source %q", cfg.HitSource)
+			}
+		}
+		if cfg.Mode != ModeExact && cfg.Mode != ModeModel && cfg.Mode != ModeAuto {
+			t.Fatalf("accepted config has mode %q", cfg.Mode)
 		}
 		if cfg.Assoc < 0 || cfg.SimRefs < 0 || cfg.AddrBits <= 0 {
 			t.Fatalf("accepted config out of domain: %+v", cfg)

@@ -12,6 +12,7 @@ import (
 	"tradeoff/internal/core"
 	"tradeoff/internal/engine"
 	"tradeoff/internal/missratio"
+	"tradeoff/internal/model"
 	"tradeoff/internal/mrc"
 	"tradeoff/internal/obs"
 	"tradeoff/internal/trace"
@@ -25,6 +26,7 @@ type Design struct {
 	LineBytes int     `json:"line_bytes"`
 	BusBits   int     `json:"bus_bits"`
 	HitRatio  float64 `json:"hit_ratio"`
+	HitSource string  `json:"hit_source"` // the pricer that produced HitRatio, after Mode resolution
 	Delay     float64 `json:"delay_per_ref"`
 	AreaRBE   float64 `json:"area_rbe"`
 	Pins      int     `json:"pins"`
@@ -53,11 +55,26 @@ func Run(ctx context.Context, cfg Config, workers int) ([]Design, error) {
 // an mrc sweep then profiles into a private cache, still paying
 // exactly one trace pass per (workload, line size) within that sweep.
 func RunCurves(ctx context.Context, cfg Config, workers int, curves *mrc.CurveCache) ([]Design, error) {
+	return RunCaches(ctx, cfg, workers, Caches{Curves: curves})
+}
+
+// Caches holds the caller-owned memoization state a sweep may share
+// across requests: exact miss-ratio curves ("mrc:"/"mrc~:") and
+// analytic curves ("an:", and "sim:"/"mrc:" re-priced by the mode
+// knob). Either field may be nil; the sweep then uses a private cache
+// scoped to the one run.
+type Caches struct {
+	Curves *mrc.CurveCache
+	Models *model.Cache
+}
+
+// RunCaches is RunCurves generalized to every curve-backed hit source.
+func RunCaches(ctx context.Context, cfg Config, workers int, caches Caches) ([]Design, error) {
 	cfg.SetDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	hit, err := hitFunc(cfg, curves)
+	hit, source, err := hitFunc(cfg, caches)
 	if err != nil {
 		return nil, err
 	}
@@ -84,7 +101,7 @@ func RunCurves(ctx context.Context, cfg Config, workers int, curves *mrc.CurveCa
 			s.SetArg("line", p.line)
 			s.SetArg("bus_bits", p.busBits)
 		}
-		return evaluate(ctx, cfg, hit, p)
+		return evaluate(ctx, cfg, hit, source, p)
 	})
 	if err != nil {
 		return nil, err
@@ -95,7 +112,7 @@ func RunCurves(ctx context.Context, cfg Config, workers int, curves *mrc.CurveCa
 
 // evaluate prices one design point: hit ratio from the configured
 // source, Eq. (2)-style mean delay per reference, rbe area and pins.
-func evaluate(ctx context.Context, cfg Config, hit hitRatioFunc, p point) (Design, error) {
+func evaluate(ctx context.Context, cfg Config, hit hitRatioFunc, source string, p point) (Design, error) {
 	d := p.busBits / 8
 	hr, err := hit(ctx, p.cacheKB<<10, p.line)
 	if err != nil {
@@ -112,7 +129,7 @@ func evaluate(ctx context.Context, cfg Config, hit hitRatioFunc, p point) (Desig
 	pins := area.Pins{DataBits: p.busBits, AddrBits: cfg.AddrBits, Control: cfg.CtrlPins}
 	return Design{
 		CacheKB: p.cacheKB, LineBytes: p.line, BusBits: p.busBits,
-		HitRatio: hr, Delay: delay, AreaRBE: rbe, Pins: pins.Total(),
+		HitRatio: hr, HitSource: source, Delay: delay, AreaRBE: rbe, Pins: pins.Total(),
 	}, nil
 }
 
@@ -131,21 +148,45 @@ func mrcSource(hitSource string) (name string, sampled, ok bool) {
 	return name, false, ok
 }
 
-// hitFunc returns the hit-ratio source selected by the config: the
-// calibrated design-target surface ("model"), cache simulation of a
-// named workload ("sim:<name>"), or a single-pass miss-ratio curve
-// ("mrc:<name>" exact, "mrc~:<name>" SHARDS-sampled). Simulated
-// sources build a private trace and cache per call; mrc sources share
-// one memoized curve per (workload, line size) through curves. Either
-// way the returned function is safe for concurrent use by the pool.
-func hitFunc(cfg Config, curves *mrc.CurveCache) (hitRatioFunc, error) {
-	if cfg.HitSource == "model" {
+// hitFunc returns the hit-ratio source selected by the config after
+// Mode resolution, along with the effective source string recorded on
+// every Design: the calibrated design-target surface ("model"), the
+// closed-form analytic curve ("an:<name>", internal/model), cache
+// simulation of a named workload ("sim:<name>"), or a single-pass
+// miss-ratio curve ("mrc:<name>" exact, "mrc~:<name>" SHARDS-sampled).
+// Simulated sources build a private trace and cache per call; curve
+// sources share one memoized curve per (workload, line size) through
+// caches. Either way the returned function is safe for concurrent use
+// by the pool.
+func hitFunc(cfg Config, caches Caches) (hitRatioFunc, string, error) {
+	source, err := cfg.EffectiveHitSource()
+	if err != nil {
+		return nil, "", err
+	}
+	if source == "model" {
 		m := missratio.DefaultModel()
 		return func(_ context.Context, size, line int) (float64, error) {
 			return 1 - m.MissRatio(size, line), nil
-		}, nil
+		}, source, nil
 	}
-	if name, sampled, ok := mrcSource(cfg.HitSource); ok {
+	if name, ok := strings.CutPrefix(source, "an:"); ok {
+		models := caches.Models
+		if models == nil {
+			models = model.NewCache(0, 0)
+		}
+		spec := model.Spec{Workload: name, Seed: cfg.Seed, Refs: cfg.SimRefs}
+		return func(ctx context.Context, size, line int) (float64, error) {
+			s := spec
+			s.LineSize = line
+			c, _, err := models.Get(ctx, s)
+			if err != nil {
+				return 0, err
+			}
+			return c.HitRatioAssoc(size, cfg.Assoc), nil
+		}, source, nil
+	}
+	if name, sampled, ok := mrcSource(source); ok {
+		curves := caches.Curves
 		if curves == nil {
 			curves = mrc.NewCurveCache(0, 0)
 		}
@@ -161,9 +202,9 @@ func hitFunc(cfg Config, curves *mrc.CurveCache) (hitRatioFunc, error) {
 				return 0, err
 			}
 			return c.HitRatioAssoc(size, cfg.Assoc), nil
-		}, nil
+		}, source, nil
 	}
-	name := strings.TrimPrefix(cfg.HitSource, "sim:")
+	name := strings.TrimPrefix(source, "sim:")
 	return func(_ context.Context, size, line int) (float64, error) {
 		src, err := trace.NewWorkload(name, cfg.Seed)
 		if err != nil {
@@ -174,7 +215,7 @@ func hitFunc(cfg Config, curves *mrc.CurveCache) (hitRatioFunc, error) {
 			return 0, err
 		}
 		return cache.MeasureSource(c, src, cfg.SimRefs).HitRatio, nil
-	}, nil
+	}, source, nil
 }
 
 // MarkPareto flags designs not dominated in (delay, area, pins).
@@ -211,12 +252,13 @@ func ParetoCount(ds []Design) int {
 // slice order, with the exact column set and float formatting the
 // original serial cmd/sweep produced.
 func WriteCSV(w io.Writer, ds []Design) error {
-	header := []string{"cache_kb", "line_bytes", "bus_bits", "hit_ratio", "delay_per_ref", "area_rbe", "pins", "pareto"}
+	header := []string{"cache_kb", "line_bytes", "bus_bits", "hit_ratio", "hit_source", "delay_per_ref", "area_rbe", "pins", "pareto"}
 	return engine.WriteCSV(w, header, len(ds), func(i int) []string {
 		d := &ds[i]
 		return []string{
 			strconv.Itoa(d.CacheKB), strconv.Itoa(d.LineBytes), strconv.Itoa(d.BusBits),
 			strconv.FormatFloat(d.HitRatio, 'f', 5, 64),
+			d.HitSource,
 			strconv.FormatFloat(d.Delay, 'f', 4, 64),
 			strconv.FormatFloat(d.AreaRBE, 'f', 0, 64),
 			strconv.Itoa(d.Pins),

@@ -3,7 +3,9 @@ package sweep
 import (
 	"bytes"
 	"context"
+	"fmt"
 	"os"
+	"strings"
 	"testing"
 )
 
@@ -98,6 +100,115 @@ func TestValidateRejects(t *testing.T) {
 	for i, body := range cases {
 		if _, err := ParseConfig([]byte(body)); err == nil {
 			t.Errorf("case %d: bad config accepted: %s", i, body)
+		}
+	}
+}
+
+// TestValidateHitSourceSuffix is the regression test for the bare-
+// prefix bug: "mrc:", "mrc~:", "sim:" and "an:" with an empty or
+// unknown workload suffix used to pass Validate (the check was a
+// plain HasPrefix) and only fail deep inside the run. They must now
+// be rejected up front, with an error that names the known workloads.
+func TestValidateHitSourceSuffix(t *testing.T) {
+	base := `{"cache_kb":[8],"line_bytes":[32],"bus_bits":[32],"latency_ns":1,"transfer_ns":1,"cpu_ns":1,"hit_source":%q}`
+	for _, src := range []string{"mrc:", "mrc~:", "sim:", "an:", "mrc:gcc", "mrc~:gcc", "sim:gcc", "an:gcc"} {
+		_, err := ParseConfig([]byte(fmt.Sprintf(base, src)))
+		if err == nil {
+			t.Errorf("hit_source %q accepted, want a validation error", src)
+			continue
+		}
+		if !strings.Contains(err.Error(), "ear") || !strings.Contains(err.Error(), "zipf") {
+			t.Errorf("hit_source %q: error %q does not name the known workloads", src, err)
+		}
+	}
+	for _, src := range []string{"model", "sim:zipf", "mrc:ear", "mrc~:nasa7", "an:hydro2d"} {
+		if _, err := ParseConfig([]byte(fmt.Sprintf(base, src))); err != nil {
+			t.Errorf("hit_source %q rejected: %v", src, err)
+		}
+	}
+}
+
+// TestValidateMode pins the mode enum and its default.
+func TestValidateMode(t *testing.T) {
+	base := `{"cache_kb":[8],"line_bytes":[32],"bus_bits":[32],"latency_ns":1,"transfer_ns":1,"cpu_ns":1,"mode":%q}`
+	for _, m := range []string{ModeExact, ModeModel, ModeAuto} {
+		if _, err := ParseConfig([]byte(fmt.Sprintf(base, m))); err != nil {
+			t.Errorf("mode %q rejected: %v", m, err)
+		}
+	}
+	for _, m := range []string{"fast", "EXACT", "analytic"} {
+		if _, err := ParseConfig([]byte(fmt.Sprintf(base, m))); err == nil {
+			t.Errorf("mode %q accepted", m)
+		}
+	}
+	cfg, err := ParseConfig([]byte(`{"cache_kb":[8],"line_bytes":[32],"bus_bits":[32],"latency_ns":1,"transfer_ns":1,"cpu_ns":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Mode != ModeExact {
+		t.Errorf("default mode = %q, want %q", cfg.Mode, ModeExact)
+	}
+}
+
+// TestEffectiveHitSource pins the mode → source decision rule.
+func TestEffectiveHitSource(t *testing.T) {
+	cases := []struct {
+		mode, src, want string
+		wantErr         bool
+	}{
+		{ModeExact, "sim:ear", "sim:ear", false},
+		{ModeExact, "an:ear", "an:ear", false},
+		{ModeModel, "sim:ear", "an:ear", false},
+		{ModeModel, "mrc:zipf", "an:zipf", false},
+		{ModeModel, "mrc~:nasa7", "an:nasa7", false},
+		{ModeModel, "an:doduc", "an:doduc", false},
+		{ModeModel, "model", "model", false}, // calibrated surface: nothing to re-price
+		{ModeAuto, "mrc:hydro2d", "an:hydro2d", false},
+		{ModeAuto, "model", "model", false},
+	}
+	for _, c := range cases {
+		cfg := Config{Mode: c.mode, HitSource: c.src}
+		got, err := cfg.EffectiveHitSource()
+		if (err != nil) != c.wantErr {
+			t.Errorf("mode %q src %q: err = %v, wantErr %v", c.mode, c.src, err, c.wantErr)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("mode %q src %q: got %q, want %q", c.mode, c.src, got, c.want)
+		}
+	}
+}
+
+// TestModeModelMatchesAnalytic proves the mode knob is pure routing:
+// a mode=model sweep over sim:ear is design-for-design identical to
+// an explicit an:ear sweep, and every point records the analytic
+// source it was actually priced with.
+func TestModeModelMatchesAnalytic(t *testing.T) {
+	base := Config{
+		CacheKB: []int{4, 16, 64}, LineBytes: []int{16, 64}, BusBits: []int{32},
+		LatencyNS: 360, TransferNS: 60, CPUNS: 30, SimRefs: 50_000,
+	}
+	viaMode := base
+	viaMode.HitSource, viaMode.Mode = "sim:ear", ModeModel
+	explicit := base
+	explicit.HitSource = "an:ear"
+	a, err := Run(context.Background(), viaMode, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(context.Background(), explicit, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("design counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("design %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+		if a[i].HitSource != "an:ear" {
+			t.Errorf("design %d records hit_source %q, want \"an:ear\"", i, a[i].HitSource)
 		}
 	}
 }

@@ -29,11 +29,13 @@ type SequentialConfig struct {
 	GapMean   float64 // mean instructions per reference
 }
 
-// Sequential returns a generator that sweeps a region repeatedly with a
-// fixed stride, the dominant pattern of vectorizable FP codes such as
-// nasa7 and swm256. When the sweep reaches the end of the region it
-// wraps to the base address (a new outer-loop iteration).
-func Sequential(cfg SequentialConfig) Source {
+// Normalized returns the config with every zero-valued optional field
+// replaced by the default the generator would apply — the exact
+// parameters a Sequential source built from cfg runs with. The
+// analytic model tier (internal/model) prices workloads from these
+// normalized configs, so the normalization must stay the single
+// source of truth for both.
+func (cfg SequentialConfig) Normalized() SequentialConfig {
 	if cfg.ElemSize == 0 {
 		cfg.ElemSize = 8
 	}
@@ -46,6 +48,15 @@ func Sequential(cfg SequentialConfig) Source {
 	if cfg.GapMean < 1 {
 		cfg.GapMean = 3
 	}
+	return cfg
+}
+
+// Sequential returns a generator that sweeps a region repeatedly with a
+// fixed stride, the dominant pattern of vectorizable FP codes such as
+// nasa7 and swm256. When the sweep reaches the end of the region it
+// wraps to the base address (a new outer-loop iteration).
+func Sequential(cfg SequentialConfig) Source {
+	cfg = cfg.Normalized()
 	return &sequential{cfg: cfg, g: gapper{rng: NewRNG(cfg.Seed), mean: cfg.GapMean}}
 }
 
@@ -88,6 +99,13 @@ type Stencil2DConfig struct {
 // spatial locality along the row plus recurring strided accesses one
 // row apart.
 func Stencil2D(cfg Stencil2DConfig) Source {
+	cfg = cfg.Normalized()
+	return &stencil{cfg: cfg, g: gapper{rng: NewRNG(cfg.Seed), mean: cfg.GapMean}, row: 1, col: 1}
+}
+
+// Normalized returns the config with generator defaults applied; see
+// SequentialConfig.Normalized.
+func (cfg Stencil2DConfig) Normalized() Stencil2DConfig {
 	if cfg.ElemSize == 0 {
 		cfg.ElemSize = 8
 	}
@@ -100,10 +118,13 @@ func Stencil2D(cfg Stencil2DConfig) Source {
 	if cfg.Points <= 0 {
 		cfg.Points = 5
 	}
+	if cfg.Points > 9 {
+		cfg.Points = 9
+	}
 	if cfg.GapMean < 1 {
 		cfg.GapMean = 3
 	}
-	return &stencil{cfg: cfg, g: gapper{rng: NewRNG(cfg.Seed), mean: cfg.GapMean}, row: 1, col: 1}
+	return cfg
 }
 
 type stencil struct {
@@ -169,6 +190,13 @@ type WorkingSetConfig struct {
 // ear. Smaller SetBytes raises temporal locality (higher hit ratio);
 // larger SetBytes stresses the cache.
 func WorkingSet(cfg WorkingSetConfig) Source {
+	cfg = cfg.Normalized()
+	return &workingSet{cfg: cfg, g: gapper{rng: NewRNG(cfg.Seed), mean: cfg.GapMean}}
+}
+
+// Normalized returns the config with generator defaults applied; see
+// SequentialConfig.Normalized.
+func (cfg WorkingSetConfig) Normalized() WorkingSetConfig {
 	if cfg.ElemSize == 0 {
 		cfg.ElemSize = 4
 	}
@@ -181,7 +209,7 @@ func WorkingSet(cfg WorkingSetConfig) Source {
 	if cfg.GapMean < 1 {
 		cfg.GapMean = 3
 	}
-	return &workingSet{cfg: cfg, g: gapper{rng: NewRNG(cfg.Seed), mean: cfg.GapMean}}
+	return cfg
 }
 
 type workingSet struct {
@@ -225,15 +253,7 @@ type PointerChaseConfig struct {
 // phases of wave5): almost no spatial reuse across nodes, so nearly
 // every node visit begins a fresh line.
 func PointerChase(cfg PointerChaseConfig) Source {
-	if cfg.Nodes <= 1 {
-		cfg.Nodes = 1024
-	}
-	if cfg.NodeSize < 8 {
-		cfg.NodeSize = 64
-	}
-	if cfg.GapMean < 1 {
-		cfg.GapMean = 3
-	}
+	cfg = cfg.Normalized()
 	rng := NewRNG(cfg.Seed)
 	// Build a random cyclic permutation with Sattolo's algorithm so the
 	// walk visits every node before repeating.
@@ -246,6 +266,21 @@ func PointerChase(cfg PointerChaseConfig) Source {
 		next[i], next[j] = next[j], next[i]
 	}
 	return &pointerChase{cfg: cfg, g: gapper{rng: rng, mean: cfg.GapMean}, next: next}
+}
+
+// Normalized returns the config with generator defaults applied; see
+// SequentialConfig.Normalized.
+func (cfg PointerChaseConfig) Normalized() PointerChaseConfig {
+	if cfg.Nodes <= 1 {
+		cfg.Nodes = 1024
+	}
+	if cfg.NodeSize < 8 {
+		cfg.NodeSize = 64
+	}
+	if cfg.GapMean < 1 {
+		cfg.GapMean = 3
+	}
+	return cfg
 }
 
 type pointerChase struct {

@@ -26,65 +26,17 @@ func Programs() []string {
 // NewProgram returns the synthetic workload model for one of the six
 // SPEC92 program names, seeded deterministically from seed. It returns
 // an error for unknown names. The resulting Source is infinite; bound it
-// with Limit.
+// with Limit. The blend recipes live in SpecFor (spec.go), which both
+// this constructor and the analytic model tier read.
 func NewProgram(name string, seed uint64) (Source, error) {
-	// Address-space layout: keep regions disjoint so blends do not alias.
-	const (
-		arrayA = 0x0100_0000
-		arrayB = 0x0200_0000
-		arrayC = 0x0300_0000
-		gridA  = 0x0400_0000
-		heap   = 0x0500_0000
-		pool   = 0x0600_0000
-	)
-	switch name {
-	case Nasa7:
-		// Seven vector kernels: dominant unit-stride double-precision
-		// sweeps over arrays far larger than the cache, a secondary
-		// strided (column) sweep, and a small scalar working set.
-		return Mix(seed, 64,
-			MixConfig{Source: Sequential(SequentialConfig{Seed: seed + 1, Base: arrayA, Length: 1 << 21, Stride: 8, ElemSize: 8, WriteFrac: 0.30, GapMean: 2.8}), Weight: 0.55},
-			MixConfig{Source: Sequential(SequentialConfig{Seed: seed + 2, Base: arrayB, Length: 1 << 21, Stride: 256, ElemSize: 8, WriteFrac: 0.25, GapMean: 3.0}), Weight: 0.20},
-			MixConfig{Source: WorkingSet(WorkingSetConfig{Seed: seed + 3, Base: heap, SetBytes: 4 << 10, HeapBytes: 64 << 10, Migrate: 1e-4, ElemSize: 8, WriteFrac: 0.3, GapMean: 3.2}), Weight: 0.25},
-		), nil
-	case Swm256:
-		// Shallow-water: 5-point stencils over a 256x256 grid of
-		// doubles, with the center cell written back each update.
-		return Mix(seed, 96,
-			MixConfig{Source: Stencil2D(Stencil2DConfig{Seed: seed + 1, Base: gridA, Rows: 256, Cols: 256, ElemSize: 8, Points: 5, WriteBack: true, GapMean: 2.6}), Weight: 0.75},
-			MixConfig{Source: Sequential(SequentialConfig{Seed: seed + 2, Base: arrayA, Length: 1 << 20, Stride: 8, ElemSize: 8, WriteFrac: 0.35, GapMean: 2.8}), Weight: 0.25},
-		), nil
-	case Wave5:
-		// Particle-in-cell: field sweeps (sequential) interleaved with
-		// particle gather/scatter (pointer-chase over a big pool).
-		return Mix(seed, 48,
-			MixConfig{Source: Sequential(SequentialConfig{Seed: seed + 1, Base: arrayA, Length: 1 << 21, Stride: 8, ElemSize: 8, WriteFrac: 0.30, GapMean: 2.8}), Weight: 0.45},
-			MixConfig{Source: PointerChase(PointerChaseConfig{Seed: seed + 2, Base: pool, Nodes: 32 << 10, NodeSize: 64, Fields: 3, GapMean: 3.0}), Weight: 0.35},
-			MixConfig{Source: Sequential(SequentialConfig{Seed: seed + 3, Base: arrayB, Length: 1 << 20, Stride: 8, ElemSize: 8, WriteFrac: 0.5, GapMean: 3.0}), Weight: 0.20},
-		), nil
-	case Ear:
-		// Cochlea model: cascaded filters reading short coefficient
-		// vectors (high temporal locality) and streaming samples.
-		return Mix(seed, 64,
-			MixConfig{Source: WorkingSet(WorkingSetConfig{Seed: seed + 1, Base: heap, SetBytes: 12 << 10, HeapBytes: 128 << 10, Migrate: 5e-5, ElemSize: 4, WriteFrac: 0.30, GapMean: 3.4}), Weight: 0.55},
-			MixConfig{Source: Sequential(SequentialConfig{Seed: seed + 2, Base: arrayA, Length: 1 << 19, Stride: 4, ElemSize: 4, WriteFrac: 0.35, GapMean: 3.0}), Weight: 0.45},
-		), nil
-	case Doduc:
-		// Monte-Carlo: dominated by a drifting scalar working set with
-		// little spatial structure and frequent writes.
-		return Mix(seed, 32,
-			MixConfig{Source: WorkingSet(WorkingSetConfig{Seed: seed + 1, Base: heap, SetBytes: 24 << 10, HeapBytes: 512 << 10, Migrate: 2e-4, ElemSize: 8, WriteFrac: 0.35, GapMean: 3.6}), Weight: 0.70},
-			MixConfig{Source: PointerChase(PointerChaseConfig{Seed: seed + 2, Base: pool, Nodes: 8 << 10, NodeSize: 96, Fields: 2, GapMean: 3.2}), Weight: 0.30},
-		), nil
-	case Hydro2D:
-		// Navier-Stokes on a grid bigger than swm256's, 9-point stencil.
-		return Mix(seed, 96,
-			MixConfig{Source: Stencil2D(Stencil2DConfig{Seed: seed + 1, Base: gridA, Rows: 402, Cols: 160, ElemSize: 8, Points: 9, WriteBack: true, GapMean: 2.6}), Weight: 0.70},
-			MixConfig{Source: Sequential(SequentialConfig{Seed: seed + 2, Base: arrayC, Length: 1 << 21, Stride: 8, ElemSize: 8, WriteFrac: 0.4, GapMean: 2.8}), Weight: 0.30},
-		), nil
-	default:
+	if name == Zipf {
 		return nil, fmt.Errorf("trace: unknown program %q (want one of %v)", name, Programs())
 	}
+	spec, err := SpecFor(name, seed)
+	if err != nil {
+		return nil, err
+	}
+	return spec.Source(), nil
 }
 
 // MustProgram is NewProgram but panics on an unknown name. It is for

@@ -1,0 +1,166 @@
+package trace
+
+import "fmt"
+
+// This file is the declarative description of every named workload: a
+// Spec lists the primitive generators a workload blends, with the
+// exact (normalized) parameters and mix weights the Source runs with.
+// NewProgram/NewWorkload construct their generators *from* these
+// specs, so the spec layer cannot drift from the traces — and the
+// analytic model tier (internal/model) prices workloads from the same
+// structs, which is what makes its closed-form curves honest.
+
+// Component kinds, one per primitive generator.
+const (
+	KindSequential   = "sequential"
+	KindStencil2D    = "stencil2d"
+	KindWorkingSet   = "workingset"
+	KindPointerChase = "pointerchase"
+	KindZipf         = "zipf"
+)
+
+// Component is one primitive generator inside a workload blend.
+// Exactly one of the config pointers is non-nil, matching Kind, and
+// its fields are already normalized (defaults applied).
+type Component struct {
+	Kind   string
+	Weight float64 // mix selection weight (1 for single-component specs)
+
+	Seq   *SequentialConfig
+	Sten  *Stencil2DConfig
+	WS    *WorkingSetConfig
+	PC    *PointerChaseConfig
+	ZipfC *ZipfReuseConfig
+}
+
+// source builds the component's generator.
+func (c Component) source() Source {
+	switch c.Kind {
+	case KindSequential:
+		return Sequential(*c.Seq)
+	case KindStencil2D:
+		return Stencil2D(*c.Sten)
+	case KindWorkingSet:
+		return WorkingSet(*c.WS)
+	case KindPointerChase:
+		return PointerChase(*c.PC)
+	case KindZipf:
+		return ZipfReuse(*c.ZipfC)
+	default:
+		panic(fmt.Sprintf("trace: component kind %q", c.Kind))
+	}
+}
+
+// Spec is the full declarative description of a named workload: its
+// components and, for multi-component blends, the Mix seed and burst
+// length.
+type Spec struct {
+	Name       string
+	Seed       uint64 // Mix selection seed (the workload seed)
+	Burst      int    // references per Mix burst (0 for single-component)
+	Components []Component
+}
+
+// Source materializes the spec into the workload's generator — the
+// same construction NewWorkload performs.
+func (s Spec) Source() Source {
+	if len(s.Components) == 1 {
+		return s.Components[0].source()
+	}
+	parts := make([]MixConfig, len(s.Components))
+	for i, c := range s.Components {
+		parts[i] = MixConfig{Source: c.source(), Weight: c.Weight}
+	}
+	return Mix(s.Seed, s.Burst, parts...)
+}
+
+// seq, sten, ws, pc wrap a primitive config as a weighted Component
+// with defaults applied.
+func seq(w float64, cfg SequentialConfig) Component {
+	n := cfg.Normalized()
+	return Component{Kind: KindSequential, Weight: w, Seq: &n}
+}
+
+func sten(w float64, cfg Stencil2DConfig) Component {
+	n := cfg.Normalized()
+	return Component{Kind: KindStencil2D, Weight: w, Sten: &n}
+}
+
+func ws(w float64, cfg WorkingSetConfig) Component {
+	n := cfg.Normalized()
+	return Component{Kind: KindWorkingSet, Weight: w, WS: &n}
+}
+
+func pc(w float64, cfg PointerChaseConfig) Component {
+	n := cfg.Normalized()
+	return Component{Kind: KindPointerChase, Weight: w, PC: &n}
+}
+
+// SpecFor returns the declarative spec of a named workload (the six
+// SPEC92-like programs plus "zipf"), seeded deterministically from
+// seed. It is the single source of truth NewWorkload builds from.
+func SpecFor(name string, seed uint64) (Spec, error) {
+	// Address-space layout: keep regions disjoint so blends do not alias.
+	const (
+		arrayA = 0x0100_0000
+		arrayB = 0x0200_0000
+		arrayC = 0x0300_0000
+		gridA  = 0x0400_0000
+		heap   = 0x0500_0000
+		pool   = 0x0600_0000
+	)
+	switch name {
+	case Nasa7:
+		// Seven vector kernels: dominant unit-stride double-precision
+		// sweeps over arrays far larger than the cache, a secondary
+		// strided (column) sweep, and a small scalar working set.
+		return Spec{Name: name, Seed: seed, Burst: 64, Components: []Component{
+			seq(0.55, SequentialConfig{Seed: seed + 1, Base: arrayA, Length: 1 << 21, Stride: 8, ElemSize: 8, WriteFrac: 0.30, GapMean: 2.8}),
+			seq(0.20, SequentialConfig{Seed: seed + 2, Base: arrayB, Length: 1 << 21, Stride: 256, ElemSize: 8, WriteFrac: 0.25, GapMean: 3.0}),
+			ws(0.25, WorkingSetConfig{Seed: seed + 3, Base: heap, SetBytes: 4 << 10, HeapBytes: 64 << 10, Migrate: 1e-4, ElemSize: 8, WriteFrac: 0.3, GapMean: 3.2}),
+		}}, nil
+	case Swm256:
+		// Shallow-water: 5-point stencils over a 256x256 grid of
+		// doubles, with the center cell written back each update.
+		return Spec{Name: name, Seed: seed, Burst: 96, Components: []Component{
+			sten(0.75, Stencil2DConfig{Seed: seed + 1, Base: gridA, Rows: 256, Cols: 256, ElemSize: 8, Points: 5, WriteBack: true, GapMean: 2.6}),
+			seq(0.25, SequentialConfig{Seed: seed + 2, Base: arrayA, Length: 1 << 20, Stride: 8, ElemSize: 8, WriteFrac: 0.35, GapMean: 2.8}),
+		}}, nil
+	case Wave5:
+		// Particle-in-cell: field sweeps (sequential) interleaved with
+		// particle gather/scatter (pointer-chase over a big pool).
+		return Spec{Name: name, Seed: seed, Burst: 48, Components: []Component{
+			seq(0.45, SequentialConfig{Seed: seed + 1, Base: arrayA, Length: 1 << 21, Stride: 8, ElemSize: 8, WriteFrac: 0.30, GapMean: 2.8}),
+			pc(0.35, PointerChaseConfig{Seed: seed + 2, Base: pool, Nodes: 32 << 10, NodeSize: 64, Fields: 3, GapMean: 3.0}),
+			seq(0.20, SequentialConfig{Seed: seed + 3, Base: arrayB, Length: 1 << 20, Stride: 8, ElemSize: 8, WriteFrac: 0.5, GapMean: 3.0}),
+		}}, nil
+	case Ear:
+		// Cochlea model: cascaded filters reading short coefficient
+		// vectors (high temporal locality) and streaming samples.
+		return Spec{Name: name, Seed: seed, Burst: 64, Components: []Component{
+			ws(0.55, WorkingSetConfig{Seed: seed + 1, Base: heap, SetBytes: 12 << 10, HeapBytes: 128 << 10, Migrate: 5e-5, ElemSize: 4, WriteFrac: 0.30, GapMean: 3.4}),
+			seq(0.45, SequentialConfig{Seed: seed + 2, Base: arrayA, Length: 1 << 19, Stride: 4, ElemSize: 4, WriteFrac: 0.35, GapMean: 3.0}),
+		}}, nil
+	case Doduc:
+		// Monte-Carlo: dominated by a drifting scalar working set with
+		// little spatial structure and frequent writes.
+		return Spec{Name: name, Seed: seed, Burst: 32, Components: []Component{
+			ws(0.70, WorkingSetConfig{Seed: seed + 1, Base: heap, SetBytes: 24 << 10, HeapBytes: 512 << 10, Migrate: 2e-4, ElemSize: 8, WriteFrac: 0.35, GapMean: 3.6}),
+			pc(0.30, PointerChaseConfig{Seed: seed + 2, Base: pool, Nodes: 8 << 10, NodeSize: 96, Fields: 2, GapMean: 3.2}),
+		}}, nil
+	case Hydro2D:
+		// Navier-Stokes on a grid bigger than swm256's, 9-point stencil.
+		return Spec{Name: name, Seed: seed, Burst: 96, Components: []Component{
+			sten(0.70, Stencil2DConfig{Seed: seed + 1, Base: gridA, Rows: 402, Cols: 160, ElemSize: 8, Points: 9, WriteBack: true, GapMean: 2.6}),
+			seq(0.30, SequentialConfig{Seed: seed + 2, Base: arrayC, Length: 1 << 21, Stride: 8, ElemSize: 8, WriteFrac: 0.4, GapMean: 2.8}),
+		}}, nil
+	case Zipf:
+		z := ZipfReuseConfig{
+			Seed: seed, Base: 0x1000_0000, Lines: 65536, Theta: 1.5, WriteFrac: 0.3}.Normalized()
+		return Spec{Name: name, Seed: seed, Components: []Component{
+			{Kind: KindZipf, Weight: 1, ZipfC: &z},
+		}}, nil
+	default:
+		return Spec{}, fmt.Errorf("trace: unknown program %q (want one of %v)", name, Programs())
+	}
+}

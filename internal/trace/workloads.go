@@ -18,11 +18,11 @@ func Workloads() []string {
 // its sim:zipf hit source; any other name resolves via NewProgram.
 // The resulting Source is infinite; bound it with Limit.
 func NewWorkload(name string, seed uint64) (Source, error) {
-	if name == Zipf {
-		return ZipfReuse(ZipfReuseConfig{
-			Seed: seed, Base: 0x1000_0000, Lines: 65536, Theta: 1.5, WriteFrac: 0.3}), nil
+	spec, err := SpecFor(name, seed)
+	if err != nil {
+		return nil, err
 	}
-	return NewProgram(name, seed)
+	return spec.Source(), nil
 }
 
 // MustWorkload is NewWorkload but panics on an unknown name, for tests

@@ -24,6 +24,18 @@ type ZipfReuseConfig struct {
 // paper's Example 1), where every cache doubling buys a predictable
 // hit-ratio increment.
 func ZipfReuse(cfg ZipfReuseConfig) Source {
+	cfg = cfg.Normalized()
+	rng := NewRNG(cfg.Seed)
+	// Scatter popularity ranks over the region so that hot lines do not
+	// all collide in the same cache sets: rank i maps to line perm[i]
+	// via a linear permutation with an odd multiplier.
+	mul := rng.Uint64() | 1 | 1
+	return &zipfReuse{cfg: cfg, g: gapper{rng: rng, mean: cfg.GapMean}, mul: mul}
+}
+
+// Normalized returns the config with generator defaults applied; see
+// SequentialConfig.Normalized.
+func (cfg ZipfReuseConfig) Normalized() ZipfReuseConfig {
 	if cfg.Lines <= 1 {
 		cfg.Lines = 32768
 	}
@@ -36,12 +48,7 @@ func ZipfReuse(cfg ZipfReuseConfig) Source {
 	if cfg.GapMean < 1 {
 		cfg.GapMean = 3
 	}
-	rng := NewRNG(cfg.Seed)
-	// Scatter popularity ranks over the region so that hot lines do not
-	// all collide in the same cache sets: rank i maps to line perm[i]
-	// via a linear permutation with an odd multiplier.
-	mul := rng.Uint64() | 1 | 1
-	return &zipfReuse{cfg: cfg, g: gapper{rng: rng, mean: cfg.GapMean}, mul: mul}
+	return cfg
 }
 
 type zipfReuse struct {
