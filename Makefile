@@ -103,6 +103,7 @@ examples:
 	$(GO) run ./examples/linesize
 	$(GO) run ./examples/stallfeatures
 	$(GO) run ./examples/designspace
+	$(GO) run ./examples/hierarchy
 
 clean:
 	rm -rf out

@@ -94,6 +94,33 @@ var benchmarks = []struct {
 	{"sweep_mrc_64pt", benchSweep("mrc:ear")},
 	{"sweep_mrc_sampled_64pt", benchSweep("mrc~:ear")},
 	{"sweep_model_64pt", benchSweep("an:ear")},
+	{"optimize_mrc_40pt", func(b *testing.B) {
+		// The cost-constrained hierarchy search: 40 design points
+		// across three depths (flat, two-level, three-level) on the
+		// exact-MRC surface, budget-filtered and Pareto-marked.
+		cfg := sweep.OptimizeConfig{
+			Config: sweep.Config{
+				CacheKB: []int{4, 8}, LineBytes: []int{16, 32}, BusBits: []int{32, 64},
+				LatencyNS: 360, TransferNS: 60, CPUNS: 30,
+				SimRefs: 20_000, HitSource: "mrc:ear",
+				Levels: []sweep.LevelAxes{
+					{CacheKB: []int{32, 64}, LatencyNS: 90},
+					{CacheKB: []int{256}, LatencyNS: 180},
+				},
+			},
+			AreaBudget: 2e7,
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := sweep.Optimize(context.Background(), cfg, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Total != 40 {
+				b.Fatalf("total = %d, want 40", res.Total)
+			}
+		}
+	}},
 	{"mrc_pass_20k", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {

@@ -9,12 +9,26 @@
 //	cachesim [-program nasa7] [-refs 400000] [-seed 1]
 //	         [-replay file [-dinero]]
 //	         [-size 8192] [-line 32] [-assoc 2] [-write allocate|around]
+//	         [-levels "size:assoc:line,..."]
 //	         [-feature FS|BL|BNL1|BNL2|BNL3|NB] [-beta 10] [-bus 4]
 //	         [-wbuf 0] [-workers 0] [-trace out.json]
 //
 // -feature also accepts a comma-separated list or "all"; the listed
 // features replay concurrently on a simjob worker pool (-workers) over
 // one shared trace and report as a comparison table.
+//
+// -levels appends deeper cache levels below the L1 the -size/-line/
+// -assoc flags describe and replays the trace through the resulting
+// hierarchy, reporting each level's local and global hit ratio. Each
+// comma-separated level is size:assoc:line (assoc 0 = fully
+// associative; sizes take an optional K or M suffix), e.g.
+//
+//	cachesim -program ear -levels "64K:4:32,256K:8:64"
+//
+// Levels must not shrink: each level's size and line must be at least
+// its upper neighbor's. -levels is a profiling mode and combines with
+// -feature only when -feature is empty (the stall features model an
+// L1-only system).
 //
 // Replay files use cmd/tracegen's text format (instr addr size R|W),
 // or the classic Dinero format (label hex-address) with -dinero.
@@ -31,6 +45,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"tradeoff/internal/cache"
@@ -52,6 +67,7 @@ func main() {
 		line    = flag.Int("line", 32, "line size in bytes")
 		assoc   = flag.Int("assoc", 2, "associativity (0 = fully associative)")
 		write   = flag.String("write", "allocate", "write-miss policy: allocate or around")
+		levels  = flag.String("levels", "", `deeper cache levels below L1, "size:assoc:line,..." (profiling mode)`)
 		feature = flag.String("feature", "", "stalling feature(s) to measure: one name, a comma list, or \"all\" (empty = profile only)")
 		beta    = flag.Int64("beta", 10, "memory cycle time per bus transfer")
 		bus     = flag.Int("bus", 4, "bus width in bytes")
@@ -61,7 +77,7 @@ func main() {
 	)
 	flag.Parse()
 	if err := run(input{program: *program, traceFile: *tfile, dinero: *dinero},
-		*refs, *seed, *size, *line, *assoc, *write, *feature, *beta, *bus, *wdepth, *workers, *tpath); err != nil {
+		*refs, *seed, *size, *line, *assoc, *write, *levels, *feature, *beta, *bus, *wdepth, *workers, *tpath); err != nil {
 		fmt.Fprintln(os.Stderr, "cachesim:", err)
 		os.Exit(1)
 	}
@@ -111,7 +127,7 @@ func (in input) name() string {
 	return in.program
 }
 
-func run(in input, nrefs int, seed uint64, size, line, assoc int, write, feature string, beta int64, bus, wdepth, workers int, tracePath string) error {
+func run(in input, nrefs int, seed uint64, size, line, assoc int, write, levels, feature string, beta int64, bus, wdepth, workers int, tracePath string) error {
 	var wp cache.WriteMissPolicy
 	switch write {
 	case "allocate":
@@ -125,6 +141,17 @@ func run(in input, nrefs int, seed uint64, size, line, assoc int, write, feature
 	refs, err := in.load(nrefs, seed)
 	if err != nil {
 		return err
+	}
+
+	if levels != "" {
+		if feature != "" {
+			return fmt.Errorf("-levels is a profiling mode; drop -feature (the stall features model an L1-only system)")
+		}
+		deeper, err := parseLevels(levels)
+		if err != nil {
+			return err
+		}
+		return runHierarchy(in, ccfg, deeper, refs)
 	}
 
 	ctx := context.Background()
@@ -198,6 +225,78 @@ func run(in input, nrefs int, seed uint64, size, line, assoc int, write, feature
 		fmt.Printf("%-6s %12d %12d %10d %12d %8.3f %7.1f%%\n",
 			f, res.Cycles, res.FillStall, res.BusWait, res.Misses, res.Phi, 100*res.PhiFraction)
 	}
+	return nil
+}
+
+// parseLevels parses the -levels argument: comma-separated
+// size:assoc:line triples, top level first, sizes with an optional
+// K or M suffix.
+func parseLevels(arg string) ([]cache.Config, error) {
+	var cfgs []cache.Config
+	for _, spec := range strings.Split(arg, ",") {
+		parts := strings.Split(strings.TrimSpace(spec), ":")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("level %q: want size:assoc:line", spec)
+		}
+		size, err := parseSize(parts[0])
+		if err != nil {
+			return nil, fmt.Errorf("level %q: %w", spec, err)
+		}
+		assoc, err := strconv.Atoi(parts[1])
+		if err != nil || assoc < 0 {
+			return nil, fmt.Errorf("level %q: bad associativity %q", spec, parts[1])
+		}
+		line, err := parseSize(parts[2])
+		if err != nil {
+			return nil, fmt.Errorf("level %q: %w", spec, err)
+		}
+		cfgs = append(cfgs, cache.Config{Size: size, LineSize: line, Assoc: assoc})
+	}
+	return cfgs, nil
+}
+
+// parseSize parses a byte count with an optional K or M suffix.
+func parseSize(s string) (int, error) {
+	mult := 1
+	switch {
+	case strings.HasSuffix(s, "K"), strings.HasSuffix(s, "k"):
+		mult, s = 1<<10, s[:len(s)-1]
+	case strings.HasSuffix(s, "M"), strings.HasSuffix(s, "m"):
+		mult, s = 1<<20, s[:len(s)-1]
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return n * mult, nil
+}
+
+// runHierarchy replays the trace through the N-level hierarchy and
+// reports each level's local and global hit ratio — the per-level
+// currency the multi-level tradeoff prices.
+func runHierarchy(in input, l1 cache.Config, deeper []cache.Config, refs []trace.Ref) error {
+	cfgs := append([]cache.Config{l1}, deeper...)
+	h, err := cache.NewHierarchy(cfgs...)
+	if err != nil {
+		return err
+	}
+	for _, r := range refs {
+		h.Access(r.Addr, r.Write)
+	}
+	s := h.Stats()
+	fmt.Printf("input:      %s (%d refs)\n", in.name(), s.Accesses)
+	for i, c := range cfgs {
+		assoc := "full"
+		if c.Assoc > 0 {
+			assoc = fmt.Sprintf("%d-way", c.Assoc)
+		}
+		fmt.Printf("L%d:         %d bytes, %dB lines, %s\n", i+1, c.Size, c.LineSize, assoc)
+	}
+	for i := range cfgs {
+		fmt.Printf("L%d local:   %.4f (%d hits, %d dirty flushes)\n",
+			i+1, s.LocalHitRatio(i), s.Levels[i].Hits, s.Levels[i].Flushes)
+	}
+	fmt.Printf("global:     %.4f (%d memory fills)\n", s.GlobalHitRatio(), s.MemFills)
 	return nil
 }
 

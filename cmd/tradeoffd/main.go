@@ -1,7 +1,11 @@
 // Command tradeoffd serves the unified tradeoff methodology over
 // HTTP: single-point feature pricing (POST /v1/tradeoff), full
 // design-space sweeps (POST /v1/sweep, JSON or CSV), trace-driven
-// stall sweeps (POST /v1/stall, JSON or CSV), a liveness probe
+// stall sweeps (POST /v1/stall, JSON or CSV), cost-constrained
+// hierarchy searches (POST /v1/optimize, JSON or CSV: every depth
+// prefix of the configured level axes competes under an area_budget
+// and optional power_budget, returning the budget-feasible designs
+// with the delay/area/pins Pareto frontier flagged), a liveness probe
 // (GET /healthz) and expvar counters (GET /metrics).
 //
 // Usage:
@@ -37,6 +41,9 @@
 //	curl -s -X POST localhost:8080/v1/tradeoff -d '{"feature":"bus","hit_ratio":0.95}'
 //	go run ./cmd/sweep -example | curl -s -X POST localhost:8080/v1/sweep?format=csv -d @-
 //	curl -s -X POST 'localhost:8080/v1/stall?format=csv' -d '{"programs":["nasa7"],"beta_m":[4,10]}'
+//	curl -s -X POST localhost:8080/v1/optimize -d '{"cache_kb":[4,8],"line_bytes":[32],
+//	  "bus_bits":[32,64],"latency_ns":360,"transfer_ns":60,"cpu_ns":30,
+//	  "levels":[{"cache_kb":[64],"latency_ns":90}],"area_budget":2e7}'
 package main
 
 import (

@@ -1,0 +1,72 @@
+// Hierarchy: price the levels of a multi-level cache in the paper's
+// single currency. The methodology reduces every architectural
+// alternative to an equivalent change in L1 hit ratio; here the
+// alternatives are cache levels themselves. A three-level hierarchy is
+// replayed on a synthetic workload, each level's local hit ratio is
+// measured, and each level is priced by removing it from the delay
+// recurrence: the worth of level i is the extra L1 hit ratio a
+// two-level system would need to match the deeper one. Run with:
+//
+//	go run ./examples/hierarchy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tradeoff/internal/cache"
+	"tradeoff/internal/core"
+	"tradeoff/internal/trace"
+)
+
+func main() {
+	// A small L1 backed by two progressively larger, slower levels.
+	// Latencies are in CPU cycles: L1 hits in 1, L2 in 3, L3 in 8,
+	// memory in 30.
+	cfgs := []cache.Config{
+		{Size: 8 << 10, LineSize: 32, Assoc: 2},
+		{Size: 64 << 10, LineSize: 32, Assoc: 4},
+		{Size: 512 << 10, LineSize: 64, Assoc: 8},
+	}
+	times := []float64{1, 3, 8}
+	const tMem = 30.0
+
+	h, err := cache.NewHierarchy(cfgs...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range trace.Collect(trace.MustWorkload("ear", 1994), 200_000) {
+		h.Access(r.Addr, r.Write)
+	}
+	s := h.Stats()
+
+	specs := make([]core.LevelSpec, len(cfgs))
+	for i := range cfgs {
+		specs[i] = core.LevelSpec{HitRatio: s.LocalHitRatio(i), Time: times[i]}
+	}
+	delay, err := core.HierarchyDelay(specs, tMem)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("three-level hierarchy on the ear workload (200k refs):")
+	for i := range cfgs {
+		fmt.Printf("  L%d %4dK %2dB-lines: local hit %.4f in %g cycles\n",
+			i+1, cfgs[i].Size>>10, cfgs[i].LineSize, specs[i].HitRatio, specs[i].Time)
+	}
+	fmt.Printf("  global hit ratio %.4f, mean delay %.4f cycles/ref\n\n", s.GlobalHitRatio(), delay)
+
+	// Price each deeper level: how much L1 hit ratio is it worth?
+	fmt.Println("per-level worth in the unified currency (equivalent ΔHR at L1):")
+	for i := 1; i < len(specs); i++ {
+		w, err := core.PriceLevel(specs, i, tMem)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mark := ""
+		if !w.Achievable {
+			mark = "  (beyond any achievable L1)"
+		}
+		fmt.Printf("  L%d is worth ΔHR = %+.4f%s\n", i+1, w.DeltaHR, mark)
+	}
+}

@@ -21,6 +21,7 @@ var exampleDirs = []string{
 	"linesize",
 	"stallfeatures",
 	"designspace",
+	"hierarchy",
 }
 
 func TestExamplesRun(t *testing.T) {

@@ -37,7 +37,7 @@ import (
 // Analyzer is the paramdomain check.
 var Analyzer = &lint.Analyzer{
 	Name: "paramdomain",
-	Doc:  "flags core.Params/sweep.Config/simjob.Grid/mrc.SamplerConfig/model.Spec constructions whose constant fields violate the paper's parameter domains (α ∈ [0,1], βm ≥ 1, L ≥ D > 0, sampling rate ∈ (0,1], mode ∈ {exact, model, auto}, error bounds ∈ (0,1], …) and core.Params built without a reachable Validate() call",
+	Doc:  "flags core.Params/sweep.Config/sweep.LevelAxes/sweep.OptimizeConfig/simjob.Grid/mrc.SamplerConfig/model.Spec constructions whose constant fields violate the paper's parameter domains (α ∈ [0,1], βm ≥ 1, L ≥ D > 0, sampling rate ∈ (0,1], mode ∈ {exact, model, auto}, area_budget > 0, hierarchy lines non-shrinking, …) and core.Params built without a reachable Validate() call",
 	Run:  run,
 }
 
@@ -149,6 +149,33 @@ var rules = []*ruledStruct{
 			"MRCBudget":  atLeast(0),
 		},
 		enums: map[string][]string{"Mode": modeEnum},
+	},
+	{
+		// One deeper hierarchy level's axes: sizes and lines enumerate
+		// physical caches, latency is a required absolute time (zero is
+		// not "default" here — SetDefaults only fills Assoc), and Assoc 0
+		// inherits the top level's.
+		pkgElem: "sweep", name: "LevelAxes",
+		fields: map[string]domain{
+			"Assoc":     atLeast(0),
+			"LatencyNS": positive(),
+		},
+		elems: map[string]domain{
+			"CacheKB":   positive(),
+			"LineBytes": positive(),
+		},
+	},
+	{
+		// A cost-constrained search: the area budget is the constraint
+		// that makes the search meaningful (required > 0); power budget
+		// and depth cap are optional (zero = unconstrained/default).
+		pkgElem: "sweep", name: "OptimizeConfig",
+		fields: map[string]domain{
+			"AreaBudget":  positive(),
+			"PowerBudget": atLeast(0),
+			"MaxLevels":   atLeast(0),
+		},
+		enums: map[string][]string{"LineMode": {"", "enumerate", "optimal"}},
 	},
 	{
 		// The stall grid's scalar knobs reject negatives (zero selects a
@@ -266,6 +293,7 @@ func checkLiteral(pass *lint.Pass, lit *ast.CompositeLit) {
 		return
 	}
 	consts := map[string]float64{}
+	exprs := map[string]ast.Expr{}
 	for i, elt := range lit.Elts {
 		name, value := "", ast.Expr(nil)
 		if kv, ok := elt.(*ast.KeyValueExpr); ok {
@@ -278,6 +306,7 @@ func checkLiteral(pass *lint.Pass, lit *ast.CompositeLit) {
 		if name == "" || value == nil {
 			continue
 		}
+		exprs[name] = value
 		if d, ruled := rule.elems[name]; ruled {
 			checkSliceElems(pass, rule.name, name, d, value)
 		}
@@ -296,6 +325,106 @@ func checkLiteral(pass *lint.Pass, lit *ast.CompositeLit) {
 	if rule.name == "Params" {
 		checkParamsCross(pass, lit.Pos(), consts)
 	}
+	if rule.pkgElem == "sweep" && rule.name == "Config" {
+		checkLevelsMonotone(pass, exprs)
+	}
+}
+
+// checkLevelsMonotone enforces the static half of the hierarchy line
+// rule L_{i+1} ≥ L_i: down a sweep.Config's Levels, some ascending
+// line-size choice must exist. With constant entries the greedy check
+// is exact — carry the smallest line admissible so far; a level whose
+// largest constant line is below it can never satisfy monotonicity,
+// so every combination it contributes would be skipped and the level
+// is dead configuration.
+func checkLevelsMonotone(pass *lint.Pass, exprs map[string]ast.Expr) {
+	levelsLit, ok := ast.Unparen(exprs["Levels"]).(*ast.CompositeLit)
+	if !ok {
+		return
+	}
+	cur, haveCur := minConst(pass, exprs["LineBytes"])
+	for i, elt := range levelsLit.Elts {
+		lvl, ok := ast.Unparen(elt).(*ast.CompositeLit)
+		if !ok {
+			continue
+		}
+		var lines ast.Expr
+		for _, le := range lvl.Elts {
+			if kv, ok := le.(*ast.KeyValueExpr); ok {
+				if id, ok := kv.Key.(*ast.Ident); ok && id.Name == "LineBytes" {
+					lines = kv.Value
+				}
+			}
+		}
+		if lines == nil {
+			continue // inherits the line above: keeps the running minimum
+		}
+		smallest, ok := minConst(pass, lines)
+		if !ok {
+			continue
+		}
+		if largest, ok := maxConst(pass, lines); ok && haveCur && largest < cur {
+			pass.Reportf(lines.Pos(), "Levels[%d] line sizes top out at %g, below the smallest line above (%g); lines must not shrink down the hierarchy", i, largest, cur)
+			continue
+		}
+		// The smallest admissible candidate at this level.
+		best, haveBest := math.Inf(1), false
+		for _, v := range constSliceVals(pass, lines) {
+			if (!haveCur || v >= cur) && v < best {
+				best, haveBest = v, true
+			}
+		}
+		if haveBest {
+			cur, haveCur = best, true
+		} else {
+			cur, haveCur = smallest, true // partially constant: stay conservative
+		}
+	}
+}
+
+// constSliceVals returns the constant numeric entries of an inline
+// slice literal (keyed entries skipped, like checkSliceElems).
+func constSliceVals(pass *lint.Pass, e ast.Expr) []float64 {
+	lit, ok := ast.Unparen(e).(*ast.CompositeLit)
+	if !ok {
+		return nil
+	}
+	var vals []float64
+	for _, elt := range lit.Elts {
+		if _, keyed := elt.(*ast.KeyValueExpr); keyed {
+			continue
+		}
+		if v, isConst := constFloat(pass, elt); isConst {
+			vals = append(vals, v)
+		}
+	}
+	return vals
+}
+
+// minConst and maxConst fold an inline slice literal's constant
+// entries; ok is false when none are constant (or e is nil).
+func minConst(pass *lint.Pass, e ast.Expr) (float64, bool) {
+	vals := constSliceVals(pass, e)
+	if len(vals) == 0 {
+		return 0, false
+	}
+	m := vals[0]
+	for _, v := range vals[1:] {
+		m = math.Min(m, v)
+	}
+	return m, true
+}
+
+func maxConst(pass *lint.Pass, e ast.Expr) (float64, bool) {
+	vals := constSliceVals(pass, e)
+	if len(vals) == 0 {
+		return 0, false
+	}
+	m := vals[0]
+	for _, v := range vals[1:] {
+		m = math.Max(m, v)
+	}
+	return m, true
 }
 
 // checkSliceElems verifies constant entries of an inline slice literal

@@ -1,0 +1,51 @@
+package paramtest
+
+import (
+	"sweep"
+)
+
+func useOpt(c sweep.OptimizeConfig) {}
+
+func levelDomains() {
+	c := sweep.Config{
+		CacheKB: []int{8}, LineBytes: []int{32},
+		Levels: []sweep.LevelAxes{
+			{
+				CacheKB:   []int{0, 64}, // want `LevelAxes.CacheKB\[0\] = 0 outside its domain \(0, \+inf\)`
+				LineBytes: []int{-32},   // want `LevelAxes.LineBytes\[0\] = -32 outside its domain \(0, \+inf\)` `Levels\[0\] line sizes top out at -32, below the smallest line above \(32\)`
+				Assoc:     -1,           // want `LevelAxes.Assoc = -1 outside its domain \[0, \+inf\)`
+				LatencyNS: 0,            // want `LevelAxes.LatencyNS = 0 outside its domain \(0, \+inf\)`
+			},
+		},
+	}
+	useCfg(c)
+}
+
+func shrinkingLines() {
+	c := sweep.Config{
+		CacheKB: []int{8}, LineBytes: []int{32, 64},
+		Levels: []sweep.LevelAxes{
+			{CacheKB: []int{64}, LineBytes: []int{64, 128}, LatencyNS: 90},
+			{CacheKB: []int{256}, LineBytes: []int{16, 32}, LatencyNS: 180}, // want `Levels\[1\] line sizes top out at 32, below the smallest line above \(64\)`
+		},
+	}
+	useCfg(c)
+}
+
+func optimizeDomains() {
+	o := sweep.OptimizeConfig{
+		Config: sweep.Config{CacheKB: []int{8}, LineBytes: []int{32}},
+
+		AreaBudget:  0,      // want `OptimizeConfig.AreaBudget = 0 outside its domain \(0, \+inf\)`
+		PowerBudget: -5,     // want `OptimizeConfig.PowerBudget = -5 outside its domain \[0, \+inf\)`
+		MaxLevels:   -1,     // want `OptimizeConfig.MaxLevels = -1 outside its domain \[0, \+inf\)`
+		LineMode:    "best", // want `OptimizeConfig.LineMode = "best", want one of "enumerate", "optimal" \(or empty for the default\)`
+	}
+	useOpt(o)
+}
+
+func optimizeFieldWrites(o sweep.OptimizeConfig) {
+	o.AreaBudget = -1e6 // want `OptimizeConfig.AreaBudget = -1e\+06 outside its domain \(0, \+inf\)`
+	o.LineMode = "optimal"
+	useOpt(o)
+}

@@ -1,0 +1,36 @@
+// want:none
+package paramtest
+
+import (
+	"sweep"
+)
+
+// A well-formed hierarchy search: per-level domains respected, lines
+// non-shrinking down the hierarchy (the middle level inherits the
+// line above), and a positive area budget with the optional knobs at
+// their defaults.
+func wellFormedHierarchy() {
+	o := sweep.OptimizeConfig{
+		Config: sweep.Config{
+			CacheKB: []int{4, 8}, LineBytes: []int{16, 32}, BusBits: []int{64},
+			LatencyNS: 360, TransferNS: 60, CPUNS: 30,
+			Levels: []sweep.LevelAxes{
+				{CacheKB: []int{32, 64}, LatencyNS: 90},
+				{CacheKB: []int{256}, LineBytes: []int{32, 64}, Assoc: 8, LatencyNS: 180},
+			},
+		},
+		AreaBudget: 2e7,
+		MaxLevels:  3,
+		LineMode:   "enumerate",
+	}
+	useOpt(o)
+
+	// A partially dynamic level: no constant lines to fold, so the
+	// monotonicity rule stays silent rather than guessing.
+	lines := []int{64}
+	c := sweep.Config{
+		CacheKB: []int{8}, LineBytes: []int{32},
+		Levels: []sweep.LevelAxes{{CacheKB: []int{64}, LineBytes: lines, LatencyNS: 90}},
+	}
+	useCfg(c)
+}

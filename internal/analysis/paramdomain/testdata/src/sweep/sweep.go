@@ -16,4 +16,21 @@ type Config struct {
 	MRCBudget  int
 	HitSource  string
 	Mode       string
+	Levels     []LevelAxes
+}
+
+type LevelAxes struct {
+	CacheKB   []int
+	LineBytes []int
+	Assoc     int
+	LatencyNS float64
+}
+
+type OptimizeConfig struct {
+	Config
+
+	AreaBudget  float64
+	PowerBudget float64
+	MaxLevels   int
+	LineMode    string
 }

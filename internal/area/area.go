@@ -100,6 +100,21 @@ func Overhead(g CacheGeometry) (float64, error) {
 	return (total - data) / total, nil
 }
 
+// AccessEnergy returns a dimensionless per-access energy proxy for the
+// cache: the square root of its rbe area. Wordline/bitline capacitance
+// grows with the array's linear dimension, so energy per access scales
+// roughly with sqrt(area) — coarse, but like the rbe model itself it
+// is the *ratios* between configurations that drive the tradeoff.
+// "Cache Hierarchy Optimization" (Yavits et al.) prices hierarchy
+// power the same relative way.
+func AccessEnergy(g CacheGeometry) (float64, error) {
+	r, err := RBE(g)
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(r), nil
+}
+
 // Pins models the package pins of the processor's external interface:
 // data bus, address bus, and a fixed control group. The paper's
 // tradeoff moves only the data-bus term.

@@ -146,3 +146,24 @@ func TestRBEMonotoneQuick(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestAccessEnergySublinear(t *testing.T) {
+	small, err := AccessEnergy(g8K())
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := AccessEnergy(CacheGeometry{Size: 32 << 10, LineSize: 32, Assoc: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big <= small {
+		t.Fatalf("32K energy %g not above 8K energy %g", big, small)
+	}
+	// sqrt scaling: 4x area ≈ 2x access energy, far below linear.
+	if ratio := big / small; ratio < 1.8 || ratio > 2.2 {
+		t.Fatalf("energy ratio %g, want ≈2", ratio)
+	}
+	if _, err := AccessEnergy(CacheGeometry{Size: -1, LineSize: 32}); err == nil {
+		t.Fatal("bad geometry accepted")
+	}
+}

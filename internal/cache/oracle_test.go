@@ -127,6 +127,156 @@ func TestCacheMatchesOracleOnPrograms(t *testing.T) {
 	}
 }
 
+// twoLevelOracle is a verbatim transcription of the pre-refactor
+// two-level Hierarchy.Access over two production caches, kept as the
+// reference the N=2 generalized hierarchy must match bit-for-bit.
+type twoLevelOracle struct {
+	l1, l2 *Cache
+	stats  twoLevelStats
+}
+
+// twoLevelStats mirrors the pre-refactor HierarchyStats field set.
+type twoLevelStats struct {
+	Accesses  uint64
+	L1Hits    uint64
+	L2Hits    uint64
+	MemFills  uint64
+	L1Flushes uint64
+	L2Flushes uint64
+}
+
+func (o *twoLevelOracle) access(addr uint64, write bool) {
+	o.stats.Accesses++
+	out := o.l1.Access(addr, write)
+	if out.Hit {
+		o.stats.L1Hits++
+		return
+	}
+	if out.Writeback {
+		o.stats.L1Flushes++
+		victimAddr := out.EvictedLine * uint64(o.l1.Config().LineSize)
+		if wb := o.l2.Access(victimAddr, true); wb.Writeback {
+			o.stats.L2Flushes++
+		}
+	}
+	if out.Bypassed {
+		if wb := o.l2.Access(addr, true); wb.Writeback {
+			o.stats.L2Flushes++
+		}
+		return
+	}
+	l2out := o.l2.Access(addr, write)
+	if l2out.Hit {
+		o.stats.L2Hits++
+		return
+	}
+	o.stats.MemFills++
+	if l2out.Writeback {
+		o.stats.L2Flushes++
+	}
+}
+
+// TestHierarchyTwoLevelMatchesOracle pins the N-level refactor to the
+// pre-refactor two-level behavior: identical counters and identical
+// per-level cache state after every kind of traffic, across write
+// policies (including the write-around bypass path).
+func TestHierarchyTwoLevelMatchesOracle(t *testing.T) {
+	configs := [][2]Config{
+		{
+			{Size: 512, LineSize: 32, Assoc: 1},
+			{Size: 4 << 10, LineSize: 32, Assoc: 4},
+		},
+		{
+			{Size: 512, LineSize: 16, Assoc: 2, WriteMiss: WriteAround},
+			{Size: 2 << 10, LineSize: 32, Assoc: 2},
+		},
+		{
+			{Size: 256, LineSize: 32, Assoc: 0, Write: WriteThrough},
+			{Size: 2 << 10, LineSize: 64, Assoc: 4},
+		},
+	}
+	refs := collectProgram(t, 40000)
+	for _, cfgs := range configs {
+		h, err := NewHierarchy(cfgs[0], cfgs[1])
+		if err != nil {
+			t.Fatalf("%+v: %v", cfgs, err)
+		}
+		o := &twoLevelOracle{l1: MustNew(cfgs[0]), l2: MustNew(cfgs[1])}
+		for _, r := range refs {
+			h.Access(r.addr, r.write)
+			o.access(r.addr, r.write)
+		}
+		s := h.Stats()
+		got := twoLevelStats{
+			Accesses:  s.Accesses,
+			L1Hits:    s.Levels[0].Hits,
+			L2Hits:    s.Levels[1].Hits,
+			MemFills:  s.MemFills,
+			L1Flushes: s.Levels[0].Flushes,
+			L2Flushes: s.Levels[1].Flushes,
+		}
+		if got != o.stats {
+			t.Errorf("%+v:\n  N=2 stats %+v\n  oracle    %+v", cfgs, got, o.stats)
+		}
+		// Legacy ratio accessors must agree with the pre-refactor
+		// definitions computed from the oracle's counters.
+		if want := float64(o.stats.L1Hits) / float64(o.stats.Accesses); s.L1HitRatio() != want {
+			t.Errorf("%+v: L1HitRatio %v, oracle %v", cfgs, s.L1HitRatio(), want)
+		}
+		if probes := o.stats.L2Hits + o.stats.MemFills; probes > 0 {
+			if want := float64(o.stats.L2Hits) / float64(probes); s.L2LocalHitRatio() != want {
+				t.Errorf("%+v: L2LocalHitRatio %v, oracle %v", cfgs, s.L2LocalHitRatio(), want)
+			}
+		}
+		// Residency must match level by level too.
+		for _, r := range refs[:512] {
+			if h.L1().Contains(r.addr) != o.l1.Contains(r.addr) || h.L2().Contains(r.addr) != o.l2.Contains(r.addr) {
+				t.Fatalf("%+v: residency of %#x diverged", cfgs, r.addr)
+			}
+		}
+	}
+}
+
+// TestHierarchyOneLevelMatchesBareCache pins the degenerate N=1 case:
+// a single-level hierarchy is a bare Cache with a counter veneer —
+// same hits, same state, and every miss a memory fill.
+func TestHierarchyOneLevelMatchesBareCache(t *testing.T) {
+	for _, cfg := range []Config{
+		{Size: 1 << 10, LineSize: 32, Assoc: 2},
+		{Size: 512, LineSize: 16, Assoc: 1, WriteMiss: WriteAround},
+	} {
+		h, err := NewHierarchy(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := MustNew(cfg)
+		refs := collectProgram(t, 40000)
+		var hits, misses, flushes uint64
+		for _, r := range refs {
+			h.Access(r.addr, r.write)
+			out := c.Access(r.addr, r.write)
+			if out.Hit {
+				hits++
+			} else {
+				misses++
+			}
+			if out.Writeback {
+				flushes++
+			}
+		}
+		s := h.Stats()
+		if s.Accesses != uint64(len(refs)) || s.Levels[0].Hits != hits || s.MemFills != misses || s.Levels[0].Flushes != flushes {
+			t.Fatalf("%+v: one-level stats %+v vs bare cache hits=%d misses=%d flushes=%d",
+				cfg, s, hits, misses, flushes)
+		}
+		for _, r := range refs[:512] {
+			if h.L1().Contains(r.addr) != c.Contains(r.addr) {
+				t.Fatalf("%+v: residency of %#x diverged from bare cache", cfg, r.addr)
+			}
+		}
+	}
+}
+
 type simpleRef struct {
 	addr  uint64
 	write bool

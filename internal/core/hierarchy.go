@@ -1,0 +1,112 @@
+package core
+
+import "fmt"
+
+// N-level memory hierarchies extend the mean-memory-delay currency the
+// same way two-level ones do: a reference costs level i's access time
+// when it first hits at level i, and the full memory fill when every
+// level misses. Pricing any level in equivalent first-level hit ratio
+// — "how much bigger would L1 need to be to match adding this level?"
+// — is the same equivalence the paper applies to its Table 3 features.
+
+// LevelSpec describes one cache level for the delay model.
+type LevelSpec struct {
+	// HitRatio is the level's local hit ratio: hits over the probe
+	// stream that reaches it (the miss stream of the levels above).
+	HitRatio float64
+	// Time is the level's access time in cycles. The first level's is
+	// conventionally 1 (the paper's unit hit time).
+	Time float64
+}
+
+// HierarchyDelay returns the mean memory delay per reference of an
+// N-level hierarchy under full stalling:
+//
+//	D_i = hr_i·t_i + (1−hr_i)·D_{i+1},   D_N = tMem
+//
+// evaluated from the last level up, so a reference pays the first
+// level's time where it hits and the memory line-fill time tMem when
+// all levels miss. The first level's hit ratio may be 0 (a cold or
+// absent cache); deeper levels accept the full [0, 1] local range.
+// Access times must be non-decreasing with depth, within [1, tMem].
+func HierarchyDelay(levels []LevelSpec, tMem float64) (float64, error) {
+	if len(levels) == 0 {
+		return 0, fmt.Errorf("core: hierarchy needs at least one level")
+	}
+	for i, l := range levels {
+		if i == 0 {
+			if !validHitRatio(l.HitRatio) {
+				return 0, fmt.Errorf("core: L1 hit ratio %g", l.HitRatio)
+			}
+		} else if !validAlpha(l.HitRatio) {
+			return 0, fmt.Errorf("core: local L%d hit ratio %g", i+1, l.HitRatio)
+		}
+		prev := 1.0
+		if i > 0 {
+			prev = levels[i-1].Time
+		}
+		if l.Time < prev || l.Time > tMem {
+			return 0, fmt.Errorf("core: L%d time %g (want %g <= t <= tMem=%g)", i+1, l.Time, prev, tMem)
+		}
+	}
+	delay := tMem
+	for i := len(levels) - 1; i >= 0; i-- {
+		delay = levels[i].HitRatio*levels[i].Time + (1-levels[i].HitRatio)*delay
+	}
+	return delay, nil
+}
+
+// LevelWorth prices a cache level in the methodology's currency: the
+// increase in first-level hit ratio that would match adding the level,
+// at equal mean memory delay. Because the level's access itself costs
+// at least the one-cycle hit time, the equivalent hit ratio never
+// exceeds one — some (possibly enormous) L1 always matches it in this
+// model; Achievable is false only at the degenerate h = 1 boundary.
+type LevelWorth struct {
+	DeltaHR    float64 // first-level hit ratio the level is worth
+	Achievable bool    // false only at the h = 1 boundary
+}
+
+// L2Worth is the two-level name for LevelWorth, kept for callers of
+// the original API.
+type L2Worth = LevelWorth
+
+// PriceLevel computes what level i (0-indexed; i ≥ 1) is worth in
+// equivalent first-level hit ratio. It compares the hierarchy's delay
+// with and without level i — deeper levels keep their local hit
+// ratios, the usual non-inclusive approximation — and maps both
+// delays onto the single-level scale h + (1−h)·tMem:
+//
+//	h = (tMem − delay) / (tMem − 1)
+//
+// DeltaHR is the difference of the two equivalent hit ratios.
+func PriceLevel(levels []LevelSpec, i int, tMem float64) (LevelWorth, error) {
+	if i < 1 || i >= len(levels) {
+		return LevelWorth{}, fmt.Errorf("core: cannot price level %d of %d (only levels below the first)", i, len(levels))
+	}
+	if tMem <= 1 {
+		return LevelWorth{}, fmt.Errorf("core: tMem %g must exceed the unit hit time", tMem)
+	}
+	with, err := HierarchyDelay(levels, tMem)
+	if err != nil {
+		return LevelWorth{}, err
+	}
+	without := make([]LevelSpec, 0, len(levels)-1)
+	without = append(without, levels[:i]...)
+	without = append(without, levels[i+1:]...)
+	base, err := HierarchyDelay(without, tMem)
+	if err != nil {
+		return LevelWorth{}, err
+	}
+	hWith := (tMem - with) / (tMem - 1)
+	hBase := (tMem - base) / (tMem - 1)
+	if hWith >= 1 {
+		return LevelWorth{DeltaHR: 1 - hBase, Achievable: false}, nil
+	}
+	if hWith < hBase {
+		// An extra level can only help; a smaller equivalent hit ratio
+		// means degenerate inputs (the level slower than what's below).
+		return LevelWorth{}, fmt.Errorf("core: level %d worth negative (h=%g < base=%g)", i, hWith, hBase)
+	}
+	return LevelWorth{DeltaHR: hWith - hBase, Achievable: true}, nil
+}

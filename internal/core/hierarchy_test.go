@@ -1,0 +1,161 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHierarchyDelayByHand(t *testing.T) {
+	// Three levels: HR 0.9/0.8/0.5, times 1/5/20, tMem=80.
+	// D3 = 0.5·20 + 0.5·80 = 50
+	// D2 = 0.8·5 + 0.2·50 = 14
+	// D1 = 0.9·1 + 0.1·14 = 2.3
+	got, err := HierarchyDelay([]LevelSpec{
+		{HitRatio: 0.9, Time: 1},
+		{HitRatio: 0.8, Time: 5},
+		{HitRatio: 0.5, Time: 20},
+	}, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(got, 2.3, 1e-12) {
+		t.Fatalf("three-level delay %g, want 2.3", got)
+	}
+}
+
+func TestHierarchyDelayMatchesTwoLevel(t *testing.T) {
+	// The N=2 case must agree exactly with the original closed form.
+	for _, c := range []struct{ hr1, hr2, tL2, tMem float64 }{
+		{0.9, 0.8, 5, 80},
+		{0.5, 0.999, 2, 100},
+		{0, 0.3, 1, 10},
+	} {
+		want := c.hr1 + (1-c.hr1)*(c.hr2*c.tL2+(1-c.hr2)*c.tMem)
+		got, err := TwoLevelDelay(c.hr1, c.hr2, c.tL2, c.tMem)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("TwoLevelDelay(%v) = %g, want %g (bit-exact)", c, got, want)
+		}
+	}
+}
+
+func TestHierarchyDelayDomain(t *testing.T) {
+	if _, err := HierarchyDelay(nil, 80); err == nil {
+		t.Fatal("empty hierarchy accepted")
+	}
+	if _, err := HierarchyDelay([]LevelSpec{{HitRatio: 1.5, Time: 1}}, 80); err == nil {
+		t.Fatal("bad L1 hit ratio accepted")
+	}
+	if _, err := HierarchyDelay([]LevelSpec{{HitRatio: 0.9, Time: 1}, {HitRatio: 1.5, Time: 5}}, 80); err == nil {
+		t.Fatal("bad L2 local hit ratio accepted")
+	}
+	if _, err := HierarchyDelay([]LevelSpec{{HitRatio: 0.9, Time: 0.5}}, 80); err == nil {
+		t.Fatal("sub-unit L1 time accepted")
+	}
+	if _, err := HierarchyDelay([]LevelSpec{
+		{HitRatio: 0.9, Time: 1}, {HitRatio: 0.8, Time: 10}, {HitRatio: 0.5, Time: 5}}, 80); err == nil {
+		t.Fatal("non-monotone level times accepted")
+	}
+	if _, err := HierarchyDelay([]LevelSpec{{HitRatio: 0.9, Time: 1}, {HitRatio: 0.8, Time: 90}}, 80); err == nil {
+		t.Fatal("level slower than memory accepted")
+	}
+}
+
+func TestHierarchyDelayMonotoneInDepth(t *testing.T) {
+	// Adding a useful level between L1 and memory can only reduce the
+	// mean delay; property-check over random (clamped) specs.
+	f := func(hr1, hr2 float64) bool {
+		hr1 = clamp01(hr1) * 0.99
+		hr2 = clamp01(hr2)
+		base, err := HierarchyDelay([]LevelSpec{{HitRatio: hr1, Time: 1}}, 80)
+		if err != nil {
+			return false
+		}
+		with, err := HierarchyDelay([]LevelSpec{
+			{HitRatio: hr1, Time: 1}, {HitRatio: hr2, Time: 5}}, 80)
+		if err != nil {
+			return false
+		}
+		return with <= base+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func clamp01(v float64) float64 {
+	if v != v || v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func TestPriceLevelMatchesPriceL2(t *testing.T) {
+	levels := []LevelSpec{{HitRatio: 0.9, Time: 1}, {HitRatio: 0.8, Time: 5}}
+	got, err := PriceLevel(levels, 1, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := PriceL2(0.9, 0.8, 5, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("PriceLevel = %+v, PriceL2 = %+v", got, want)
+	}
+	// And the classic closed form: h = (tMem − with)/(tMem − 1).
+	with, _ := TwoLevelDelay(0.9, 0.8, 5, 80)
+	h := (80 - with) / 79
+	if !almost(got.DeltaHR, h-0.9, 1e-9) {
+		t.Fatalf("DeltaHR %g, want %g", got.DeltaHR, h-0.9)
+	}
+}
+
+func TestPriceLevelThreeDeep(t *testing.T) {
+	levels := []LevelSpec{
+		{HitRatio: 0.9, Time: 1},
+		{HitRatio: 0.8, Time: 5},
+		{HitRatio: 0.5, Time: 20},
+	}
+	w2, err := PriceLevel(levels, 1, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w3, err := PriceLevel(levels, 2, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w2.Achievable || !w3.Achievable {
+		t.Fatalf("finite levels reported unachievable: %+v %+v", w2, w3)
+	}
+	// The L2 catches 80% of a 10% miss stream at 5 cycles; the L3 only
+	// half of the 2% that remains, at 20 cycles. L2 must be worth more.
+	if w2.DeltaHR <= w3.DeltaHR {
+		t.Fatalf("L2 worth %g not above L3 worth %g", w2.DeltaHR, w3.DeltaHR)
+	}
+	// Round trip: removing level 2's worth from the equivalent scale
+	// must reproduce the with/without delay gap.
+	with, _ := HierarchyDelay(levels, 80)
+	without, _ := HierarchyDelay(levels[:2], 80)
+	if !almost(w3.DeltaHR*(80-1), without-with, 1e-9) {
+		t.Fatalf("worth %g·(tMem−1) != delay gap %g", w3.DeltaHR, without-with)
+	}
+}
+
+func TestPriceLevelDomain(t *testing.T) {
+	levels := []LevelSpec{{HitRatio: 0.9, Time: 1}, {HitRatio: 0.8, Time: 5}}
+	if _, err := PriceLevel(levels, 0, 80); err == nil {
+		t.Fatal("pricing the first level accepted")
+	}
+	if _, err := PriceLevel(levels, 2, 80); err == nil {
+		t.Fatal("out-of-range level accepted")
+	}
+	if _, err := PriceLevel(levels, 1, 1); err == nil {
+		t.Fatal("tMem at the unit hit time accepted")
+	}
+}

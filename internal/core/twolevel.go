@@ -1,14 +1,5 @@
 package core
 
-import "fmt"
-
-// Two-level memory hierarchies extend the mean-memory-delay currency
-// naturally: a reference costs one cycle on an L1 hit, the L2 access
-// time on an L2 hit, and the full memory fill otherwise. Pricing an L2
-// cache in L1 hit ratio — "how much bigger would L1 need to be to
-// match adding this L2?" — is then the same equivalence the paper
-// applies to its Table 3 features.
-
 // TwoLevelDelay returns the mean memory delay per reference for an
 // L1 + L2 hierarchy under full stalling:
 //
@@ -16,49 +7,22 @@ import "fmt"
 //
 // where tL2 is the L-byte L2 access time and tMem the memory line-fill
 // time (both in cycles), and HR2local is the L2 hit ratio over the L1
-// miss stream.
+// miss stream. It is the N=2 case of HierarchyDelay with a unit L1
+// hit time.
 func TwoLevelDelay(hr1, hr2local, tL2, tMem float64) (float64, error) {
-	if !validHitRatio(hr1) {
-		return 0, fmt.Errorf("core: L1 hit ratio %g", hr1)
-	}
-	if !validAlpha(hr2local) {
-		return 0, fmt.Errorf("core: local L2 hit ratio %g", hr2local)
-	}
-	if tL2 < 1 || tMem < tL2 {
-		return 0, fmt.Errorf("core: times tL2=%g, tMem=%g (want 1 <= tL2 <= tMem)", tL2, tMem)
-	}
-	return hr1 + (1-hr1)*(hr2local*tL2+(1-hr2local)*tMem), nil
+	return HierarchyDelay([]LevelSpec{
+		{HitRatio: hr1, Time: 1},
+		{HitRatio: hr2local, Time: tL2},
+	}, tMem)
 }
 
-// L2Worth prices an L2 cache in the methodology's currency: the
-// increase in L1 hit ratio that would match adding the L2, at equal
-// mean memory delay. Because the L2 access itself costs at least the
-// one-cycle hit time, the equivalent hit ratio never exceeds one —
-// some (possibly enormous) L1 always matches an L2 in this model;
-// Achievable is false only at the degenerate boundary h = 1.
-type L2Worth struct {
-	DeltaHR    float64 // L1 hit ratio the L2 is worth
-	Achievable bool    // false only at the h = 1 boundary (hr1 = 1 inputs)
-}
-
-// PriceL2 computes the L2's worth. hr1 and hr2local are measured (for
-// example by cache.Hierarchy); tL2 and tMem are the L2 and memory
-// line-fill times in cycles.
+// PriceL2 computes the L2's worth in L1 hit ratio. hr1 and hr2local
+// are measured (for example by cache.Hierarchy); tL2 and tMem are the
+// L2 and memory line-fill times in cycles. It is PriceLevel applied
+// to the second level of a two-level stack.
 func PriceL2(hr1, hr2local, tL2, tMem float64) (L2Worth, error) {
-	with, err := TwoLevelDelay(hr1, hr2local, tL2, tMem)
-	if err != nil {
-		return L2Worth{}, err
-	}
-	// Single-level delay with an improved hit ratio h:
-	//   h + (1−h)·tMem = with  ⇒  h = (tMem − with) / (tMem − 1).
-	h := (tMem - with) / (tMem - 1)
-	if h >= 1 {
-		return L2Worth{DeltaHR: 1 - hr1, Achievable: false}, nil
-	}
-	if h < hr1 {
-		// An L2 can only help; a smaller equivalent hit ratio means
-		// degenerate inputs (hr2local·tL2 worse than memory).
-		return L2Worth{}, fmt.Errorf("core: L2 worth negative (h=%g < hr1=%g)", h, hr1)
-	}
-	return L2Worth{DeltaHR: h - hr1, Achievable: true}, nil
+	return PriceLevel([]LevelSpec{
+		{HitRatio: hr1, Time: 1},
+		{HitRatio: hr2local, Time: tL2},
+	}, 1, tMem)
 }

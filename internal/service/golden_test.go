@@ -39,6 +39,25 @@ const goldenSweepConfig = `{
   "hit_source":  "model"
 }`
 
+// goldenOptimizeConfig pins /v1/optimize: a three-depth search (flat,
+// two-level, three-level) on the analytic surface under an area budget
+// that keeps every depth in the frontier.
+const goldenOptimizeConfig = `{
+  "cache_kb":    [4, 8],
+  "line_bytes":  [16, 32],
+  "bus_bits":    [32, 64],
+  "assoc":       2,
+  "latency_ns":  360,
+  "transfer_ns": 60,
+  "cpu_ns":      30,
+  "hit_source":  "model",
+  "levels": [
+    {"cache_kb": [32, 64], "latency_ns": 90},
+    {"cache_kb": [256], "latency_ns": 180}
+  ],
+  "area_budget": 2e7
+}`
+
 func TestEndpointGoldens(t *testing.T) {
 	_, ts := newTestServer(t)
 	cases := []struct {
@@ -48,6 +67,8 @@ func TestEndpointGoldens(t *testing.T) {
 		{"sweep_golden.csv", "/v1/sweep?format=csv", goldenSweepConfig},
 		{"stall_golden.json", "/v1/stall", goldenGrid},
 		{"stall_golden.csv", "/v1/stall?format=csv", goldenGrid},
+		{"optimize_golden.json", "/v1/optimize", goldenOptimizeConfig},
+		{"optimize_golden.csv", "/v1/optimize?format=csv", goldenOptimizeConfig},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

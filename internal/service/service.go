@@ -15,6 +15,13 @@
 //	POST /v1/stall     trace-driven stall sweep: replay a workload
 //	                   grid and return each point's stall.Result
 //	                   decomposition → JSON or CSV
+//	POST /v1/optimize  cost-constrained search over the joint
+//	                   (hierarchy depth, cache sizes, line sizes, bus
+//	                   width) space: every depth prefix of the level
+//	                   axes competes under an area_budget (and optional
+//	                   power_budget); returns the feasible designs with
+//	                   the (delay, area, pins) Pareto frontier flagged
+//	                   → JSON or CSV
 //	GET  /healthz      liveness probe
 //	GET  /metrics      expvar counters: requests, errors, cache
 //	                   hits/misses/bytes, in-flight, per-endpoint
@@ -147,6 +154,7 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("/v1/tradeoff", s.metrics.instrument("/v1/tradeoff", handle(s, s.tradeoffEndpoint())))
 	s.mux.HandleFunc("/v1/sweep", s.metrics.instrument("/v1/sweep", handle(s, s.sweepEndpoint())))
 	s.mux.HandleFunc("/v1/stall", s.metrics.instrument("/v1/stall", handle(s, s.stallEndpoint())))
+	s.mux.HandleFunc("/v1/optimize", s.metrics.instrument("/v1/optimize", handle(s, s.optimizeEndpoint())))
 	s.mux.HandleFunc("/healthz", s.metrics.instrument("/healthz", s.handleHealthz))
 	s.mux.HandleFunc("/metrics", s.metrics.serveHTTP)
 	if opts.Pprof {
@@ -375,6 +383,14 @@ type SweepResponse struct {
 	Designs     []sweep.Design `json:"designs"`
 }
 
+// caches bundles the server's shared memoization state for the sweep
+// engines: miss-ratio curves, analytic models, and the simjob trace
+// seam hierarchy sweeps replay "sim:" sources through (one
+// materialized trace per workload across all requests).
+func (s *Server) caches() sweep.Caches {
+	return sweep.Caches{Curves: s.curves, Models: s.models, Measure: s.runner.MeasureHierarchy}
+}
+
 // sweepEndpoint registers POST /v1/sweep on the shared pipeline.
 func (s *Server) sweepEndpoint() endpoint[sweep.Config, []sweep.Design] {
 	return endpoint[sweep.Config, []sweep.Design]{
@@ -383,7 +399,7 @@ func (s *Server) sweepEndpoint() endpoint[sweep.Config, []sweep.Design] {
 		limits: func(cfg sweep.Config) error { return cfg.CheckLimits(s.opts.Limits) },
 		key:    sweep.Config.Canonical,
 		run: func(ctx context.Context, cfg sweep.Config) ([]sweep.Design, error) {
-			return sweep.RunCaches(ctx, cfg, s.opts.Workers, sweep.Caches{Curves: s.curves, Models: s.models})
+			return sweep.RunCaches(ctx, cfg, s.opts.Workers, s.caches())
 		},
 		encodeJSON: func(ds []sweep.Design) any {
 			resp := SweepResponse{Count: len(ds), ParetoCount: sweep.ParetoCount(ds), Designs: ds}
@@ -433,6 +449,50 @@ func (s *Server) stallEndpoint() endpoint[simjob.Grid, []simjob.PointResult] {
 			return resp
 		},
 		encodeCSV: func(w io.Writer, ps []simjob.PointResult) error { return simjob.WriteCSV(w, ps) },
+	}
+}
+
+// OptimizeResponse is the JSON shape of POST /v1/optimize. Total
+// counts every design point enumerated across all hierarchy depths;
+// Feasible counts (and Designs carries) the ones within the budgets,
+// with the (delay, area, pins) Pareto frontier flagged. ErrorBound
+// carries the analytic tier's committed hit-ratio error when the
+// effective hit source is "an:<workload>", like SweepResponse.
+type OptimizeResponse struct {
+	Total       int            `json:"total"`
+	Feasible    int            `json:"feasible"`
+	ParetoCount int            `json:"pareto_count"`
+	ErrorBound  float64        `json:"error_bound,omitempty"`
+	Designs     []sweep.Design `json:"designs"`
+}
+
+// optimizeEndpoint registers POST /v1/optimize on the shared pipeline:
+// like every POST endpoint it is memoized on the canonical config and
+// cancelled by a disconnected client.
+func (s *Server) optimizeEndpoint() endpoint[sweep.OptimizeConfig, sweep.OptimizeResult] {
+	return endpoint[sweep.OptimizeConfig, sweep.OptimizeResult]{
+		name:   "/v1/optimize",
+		decode: sweep.ParseOptimizeConfig,
+		limits: func(cfg sweep.OptimizeConfig) error { return cfg.CheckLimits(s.opts.Limits) },
+		key:    sweep.OptimizeConfig.Canonical,
+		run: func(ctx context.Context, cfg sweep.OptimizeConfig) (sweep.OptimizeResult, error) {
+			return sweep.OptimizeCaches(ctx, cfg, s.opts.Workers, s.caches())
+		},
+		encodeJSON: func(res sweep.OptimizeResult) any {
+			resp := OptimizeResponse{
+				Total:       res.Total,
+				Feasible:    res.Feasible,
+				ParetoCount: sweep.ParetoCount(res.Designs),
+				Designs:     res.Designs,
+			}
+			if len(res.Designs) > 0 {
+				if _, w, ok := sweep.SourceWorkload(res.Designs[0].HitSource); ok && res.Designs[0].HitSource == "an:"+w {
+					resp.ErrorBound = model.ErrorBound(w)
+				}
+			}
+			return resp
+		},
+		encodeCSV: func(w io.Writer, res sweep.OptimizeResult) error { return sweep.WriteOptimizeCSV(w, res.Designs) },
 	}
 }
 

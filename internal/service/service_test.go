@@ -603,3 +603,98 @@ func TestStallClientDisconnectCancels(t *testing.T) {
 		t.Fatalf("cancelled stall run status %d, want %d", rec.Code, statusClientClosedRequest)
 	}
 }
+
+// TestOptimizeEndpoint drives POST /v1/optimize end to end: JSON and
+// CSV shapes, response memoization on the canonical config, the
+// payload limits, and the 400/422 error split.
+func TestOptimizeEndpoint(t *testing.T) {
+	s, ts := newTestServer(t)
+	cfg := `{"cache_kb":[4,8],"line_bytes":[16,32],"bus_bits":[32,64],
+		"latency_ns":360,"transfer_ns":60,"cpu_ns":30,"hit_source":"model",
+		"levels":[{"cache_kb":[32,64],"latency_ns":90},{"cache_kb":[256],"latency_ns":180}],
+		"area_budget":2e7}`
+	resp, body := post(t, ts.URL+"/v1/optimize", cfg)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var got OptimizeResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Feasible != len(got.Designs) || got.Total < got.Feasible || got.ParetoCount == 0 {
+		t.Fatalf("implausible optimize response: total=%d feasible=%d pareto=%d designs=%d",
+			got.Total, got.Feasible, got.ParetoCount, len(got.Designs))
+	}
+	three := false
+	for _, d := range got.Designs {
+		if len(d.Levels) == 2 {
+			three = true
+		}
+		if d.AreaRBE > 2e7 {
+			t.Fatalf("design over the area budget: %+v", d)
+		}
+	}
+	if !three {
+		t.Fatal("no three-level design in the frontier")
+	}
+
+	// A repeated (whitespace-shuffled) request hits the response memo.
+	hits := s.CacheHits()
+	resp, _ = post(t, ts.URL+"/v1/optimize", strings.ReplaceAll(cfg, "\n\t\t", " "))
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Cache") != "hit" {
+		t.Fatalf("repeat not served from cache: status %d, X-Cache %q", resp.StatusCode, resp.Header.Get("X-Cache"))
+	}
+	if s.CacheHits() != hits+1 {
+		t.Fatalf("cache hits %d, want %d", s.CacheHits(), hits+1)
+	}
+
+	// CSV carries the optimize header.
+	resp, body = post(t, ts.URL+"/v1/optimize?format=csv", cfg)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("csv status %d", resp.StatusCode)
+	}
+	if !strings.HasPrefix(string(body), "cache_kb,line_bytes,bus_bits,levels,") {
+		t.Fatalf("csv header: %q", strings.SplitN(string(body), "\n", 2)[0])
+	}
+
+	// Missing budget: 400 from decode-time validation.
+	resp, _ = post(t, ts.URL+"/v1/optimize", strings.Replace(cfg, `"area_budget":2e7`, `"area_budget":0`, 1))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("zero budget: status %d, want 400", resp.StatusCode)
+	}
+
+	// The limits stage sums points across depths: this space is 40.
+	tight := New(Options{Limits: sweep.Limits{MaxPoints: 39, MaxCacheKB: 1 << 20, MaxSimRefs: 1 << 20}})
+	tts := httptest.NewServer(tight.Handler())
+	defer tts.Close()
+	resp, body = post(t, tts.URL+"/v1/optimize", cfg)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("over-limit optimize: status %d (%s), want 422", resp.StatusCode, body)
+	}
+}
+
+// TestOptimizeEndpointSimSource routes a measured hierarchy search
+// through the server's shared simjob runner: the trace must be
+// materialized once however many designs replay it.
+func TestOptimizeEndpointSimSource(t *testing.T) {
+	s, ts := newTestServer(t)
+	cfg := `{"cache_kb":[4,8],"line_bytes":[32],"bus_bits":[64],
+		"latency_ns":360,"transfer_ns":60,"cpu_ns":30,
+		"hit_source":"sim:ear","sim_refs":20000,
+		"levels":[{"cache_kb":[64],"latency_ns":90}],
+		"area_budget":1e8}`
+	resp, body := post(t, ts.URL+"/v1/optimize", cfg)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var got OptimizeResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Total != 4 {
+		t.Fatalf("total = %d, want 4 (2 flat + 2 two-level)", got.Total)
+	}
+	if n := s.runner.Traces().Generated(); n != 1 {
+		t.Fatalf("measured search materialized %d traces, want 1 shared", n)
+	}
+}

@@ -40,6 +40,28 @@ type Config struct {
 	Seed       uint64  `json:"seed"`
 	MRCRate    float64 `json:"mrc_rate"`   // mrc~: initial sampling rate (default 0.1)
 	MRCBudget  int     `json:"mrc_budget"` // mrc~: max tracked blocks (default 8192)
+
+	// Levels adds cache levels below the first: entry i describes
+	// level i+2's axes (the top-level CacheKB/LineBytes/BusBits axes
+	// describe L1). Empty means the classic single-level sweep; the
+	// field is omitted from canonical keys then, so existing flat
+	// configs memoize — and golden-test — identically.
+	Levels []LevelAxes `json:"levels,omitempty"`
+}
+
+// LevelAxes is one additional cache level's slice of the design space.
+// Combinations that break hierarchy monotonicity (a level smaller than
+// the one above it, or with a shorter line) are skipped at enumeration
+// rather than rejected, so coarse per-level axes compose freely.
+type LevelAxes struct {
+	CacheKB   []int `json:"cache_kb"`             // level capacities in KiB
+	LineBytes []int `json:"line_bytes,omitempty"` // empty: inherit the line above
+	Assoc     int   `json:"assoc,omitempty"`      // 0: inherit the top-level assoc
+	// LatencyNS is the level's access latency; it must be positive,
+	// non-decreasing with depth, and at most the memory latency_ns
+	// (deeper must not be faster than shallower, and no cache level
+	// slower than memory itself).
+	LatencyNS float64 `json:"latency_ns"`
 }
 
 // Evaluation modes: how the mode knob reinterprets hit_source.
@@ -162,6 +184,11 @@ func (c *Config) SetDefaults() {
 	if c.MRCBudget == 0 {
 		c.MRCBudget = def.Budget
 	}
+	for i := range c.Levels {
+		if c.Levels[i].Assoc == 0 {
+			c.Levels[i].Assoc = c.Assoc
+		}
+	}
 }
 
 // Validate reports configurations outside the engine's domain. It
@@ -207,6 +234,30 @@ func (c *Config) Validate() error {
 	if err := (mrc.SamplerConfig{Rate: c.MRCRate, Budget: c.MRCBudget}).Validate(); err != nil {
 		return fmt.Errorf("sweep: %w", err)
 	}
+	prevLatency := 0.0
+	for i, lv := range c.Levels {
+		if len(lv.CacheKB) == 0 {
+			return fmt.Errorf("sweep: levels[%d].cache_kb must be non-empty", i)
+		}
+		for _, kb := range lv.CacheKB {
+			if kb <= 0 {
+				return fmt.Errorf("sweep: levels[%d].cache_kb entry %d, want > 0", i, kb)
+			}
+		}
+		for _, l := range lv.LineBytes {
+			if l <= 0 {
+				return fmt.Errorf("sweep: levels[%d].line_bytes entry %d, want > 0", i, l)
+			}
+		}
+		if lv.Assoc < 0 {
+			return fmt.Errorf("sweep: levels[%d].assoc = %d, want >= 0", i, lv.Assoc)
+		}
+		if lv.LatencyNS <= 0 || lv.LatencyNS < prevLatency || lv.LatencyNS > c.LatencyNS {
+			return fmt.Errorf("sweep: levels[%d].latency_ns = %g, want positive, non-decreasing with depth, and at most latency_ns = %g",
+				i, lv.LatencyNS, c.LatencyNS)
+		}
+		prevLatency = lv.LatencyNS
+	}
 	return nil
 }
 
@@ -227,13 +278,28 @@ var DefaultLimits = Limits{MaxPoints: 4096, MaxCacheKB: 1 << 16, MaxSimRefs: 5_0
 // CheckLimits reports whether the configuration fits within lim.
 // It assumes SetDefaults has run.
 func (c *Config) CheckLimits(lim Limits) error {
-	if n := len(c.CacheKB) * len(c.LineBytes) * len(c.BusBits); lim.MaxPoints > 0 && n > lim.MaxPoints {
+	n := len(c.CacheKB) * len(c.LineBytes) * len(c.BusBits)
+	for _, lv := range c.Levels {
+		lines := len(lv.LineBytes)
+		if lines == 0 {
+			lines = 1 // inherited line: one choice per combination
+		}
+		n *= len(lv.CacheKB) * lines
+	}
+	if lim.MaxPoints > 0 && n > lim.MaxPoints {
 		return fmt.Errorf("sweep: %d design points exceeds the limit of %d", n, lim.MaxPoints)
 	}
 	if lim.MaxCacheKB > 0 {
 		for _, kb := range c.CacheKB {
 			if kb > lim.MaxCacheKB {
 				return fmt.Errorf("sweep: cache_kb %d exceeds the limit of %d", kb, lim.MaxCacheKB)
+			}
+		}
+		for i, lv := range c.Levels {
+			for _, kb := range lv.CacheKB {
+				if kb > lim.MaxCacheKB {
+					return fmt.Errorf("sweep: levels[%d].cache_kb %d exceeds the limit of %d", i, kb, lim.MaxCacheKB)
+				}
 			}
 		}
 	}

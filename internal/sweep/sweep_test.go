@@ -5,6 +5,7 @@ import (
 	"context"
 	"fmt"
 	"os"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -204,7 +205,7 @@ func TestModeModelMatchesAnalytic(t *testing.T) {
 		t.Fatalf("design counts differ: %d vs %d", len(a), len(b))
 	}
 	for i := range a {
-		if a[i] != b[i] {
+		if !reflect.DeepEqual(a[i], b[i]) {
 			t.Errorf("design %d differs: %+v vs %+v", i, a[i], b[i])
 		}
 		if a[i].HitSource != "an:ear" {

@@ -240,6 +240,30 @@ func PriceL2(l1HitRatio, l2LocalHitRatio, tL2, tMem float64) (L2Worth, error) {
 	return core.PriceL2(l1HitRatio, l2LocalHitRatio, tL2, tMem)
 }
 
+// LevelSpec describes one level of an N-deep hierarchy for the delay
+// model: its local hit ratio and access time in cycles.
+type LevelSpec = core.LevelSpec
+
+// LevelWorth prices any cache level in equivalent L1 hit ratio; the
+// two-level L2Worth is an alias of it.
+type LevelWorth = core.LevelWorth
+
+// HierarchyDelay returns the mean memory delay per reference of an
+// N-level hierarchy: a reference pays level i's access time where it
+// first hits and the tMem line-fill when every level misses. The
+// two-level case reduces exactly to the classic
+// HR1 + (1−HR1)·(HR2·tL2 + (1−HR2)·tMem).
+func HierarchyDelay(levels []LevelSpec, tMem float64) (float64, error) {
+	return core.HierarchyDelay(levels, tMem)
+}
+
+// PriceLevel returns what level i (0-indexed, i ≥ 1) of the hierarchy
+// is worth in equivalent L1 hit ratio — the paper's feature-pricing
+// currency applied to whole cache levels.
+func PriceLevel(levels []LevelSpec, i int, tMem float64) (LevelWorth, error) {
+	return core.PriceLevel(levels, i, tMem)
+}
+
 // LineSizeConfig describes an optimal-line-size question: the cache,
 // the bus, the memory timing of the paper's Figure 6 subcaptions
 // (latency + per-byte transfer time), and the candidate line sizes
