@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-fast test test-short race bench bench-smoke bench-stall bench-mrc bench-record trace-smoke figures figures-fast report examples serve clean
+.PHONY: all build vet lint lint-fast test test-short race bench bench-smoke bench-stall bench-mrc bench-record trace-smoke flight-smoke obs-smoke figures figures-fast report examples serve clean
 
 all: build lint test race
 
@@ -83,6 +83,17 @@ trace-smoke:
 	$(GO) run ./cmd/sweep -example > out/trace-smoke-space.json
 	$(GO) run ./cmd/sweep -config out/trace-smoke-space.json -o out/trace-smoke.csv -trace out/trace-smoke.json
 	$(GO) run ./cmd/tracecheck -min 30 out/trace-smoke.json
+
+# Boot tradeoffd, drive traffic, dump the always-on flight recorder
+# and validate the B/E trace_event JSON with cmd/tracecheck.
+flight-smoke:
+	sh scripts/obs_smoke.sh flight
+
+# The full observability smoke: flight-smoke plus /metrics/history,
+# /debug/slow, /debug/dash and the tradeoffd_slo_* gauges, all against
+# a live server. CI runs this non-blocking, like bench-smoke.
+obs-smoke:
+	sh scripts/obs_smoke.sh
 
 # Regenerate every paper artifact into out/ (full scale; minutes).
 figures:

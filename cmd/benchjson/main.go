@@ -29,8 +29,10 @@ import (
 	"sort"
 	"strings"
 	"testing"
+	"time"
 
 	"tradeoff/internal/mrc"
+	"tradeoff/internal/obs"
 	"tradeoff/internal/simjob"
 	"tradeoff/internal/sweep"
 	"tradeoff/internal/trace"
@@ -141,6 +143,34 @@ var benchmarks = []struct {
 			if _, err := r.RunGrid(context.Background(), g, 0); err != nil {
 				b.Fatal(err)
 			}
+		}
+	}},
+	{"span_ring_record", func(b *testing.B) {
+		// The flight recorder's per-span cost — the overhead every
+		// completed span pays on the request path.
+		r := obs.NewSpanRing(8192)
+		rec := obs.SpanRecord{Name: "bench", Start: time.Now(), Dur: time.Millisecond, TID: 1}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r.Record(rec)
+		}
+	}},
+	{"snapshot_tick", func(b *testing.B) {
+		// One metrics-history snapshot cycle at production scale: the
+		// runtime collector plus ~20 histogram-derived series.
+		h := obs.NewHistory(10*time.Second, time.Hour)
+		obs.RegisterRuntimeSeries(h)
+		for i := 0; i < 20; i++ {
+			hist := obs.NewHistogram(fmt.Sprintf("bench_hist_%d", i))
+			hist.Observe(time.Millisecond)
+			h.RegisterHistogram(hist)
+		}
+		now := time.Now()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			now = now.Add(10 * time.Second)
+			h.Tick(now)
 		}
 	}},
 }

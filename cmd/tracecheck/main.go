@@ -1,8 +1,18 @@
-// Command tracecheck validates a Chrome trace_event JSON file of the
-// kind cmd/sweep, cmd/cachesim and cmd/figures write with -trace: a
-// JSON array of complete ("X") events with non-negative timestamps and
-// durations. It is the load-bearing half of `make trace-smoke` — a CI
-// check that the exported profile actually loads.
+// Command tracecheck validates a Chrome trace_event JSON file — both
+// kinds tradeoff tools emit:
+//
+//   - complete-event traces: arrays of "X" events with non-negative
+//     timestamps and durations, as cmd/sweep, cmd/cachesim and
+//     cmd/figures write with -trace, and
+//   - flight dumps: arrays of balanced "B"/"E" begin/end pairs, as
+//     tradeoffd's always-on recorder serves from GET /debug/flight.
+//     Every lane (pid, tid) must be monotonic in ts, every B must have
+//     a matching same-name E (properly nested), and a queue_wait_us
+//     arg, when present, must be non-negative.
+//
+// It is the load-bearing half of `make trace-smoke` and
+// `make flight-smoke` — CI checks that the exported profiles actually
+// load.
 //
 // Usage:
 //
@@ -36,15 +46,22 @@ func main() {
 
 // event carries the trace_event fields the viewers require.
 type event struct {
-	Name string   `json:"name"`
-	Ph   string   `json:"ph"`
-	TS   *float64 `json:"ts"`
-	Dur  *float64 `json:"dur"`
-	PID  *int     `json:"pid"`
-	TID  *int     `json:"tid"`
+	Name string             `json:"name"`
+	Ph   string             `json:"ph"`
+	TS   *float64           `json:"ts"`
+	Dur  *float64           `json:"dur"`
+	PID  *int               `json:"pid"`
+	TID  *int               `json:"tid"`
+	Args map[string]float64 `json:"-"`
+
+	// RawArgs defers arg decoding: args are free-form, and only the
+	// numeric ones are checked.
+	RawArgs map[string]json.RawMessage `json:"args"`
 }
 
-// check validates the file and returns the span count.
+// check validates the file and returns the span count. The first
+// event's phase decides the dialect: "X" complete-event traces and
+// "B"/"E" flight dumps are both valid, mixing them is not.
 func check(path string, minSpans int) (int, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -54,6 +71,24 @@ func check(path string, minSpans int) (int, error) {
 	if err := json.Unmarshal(data, &events); err != nil {
 		return 0, fmt.Errorf("%s: not a trace_event JSON array: %w", path, err)
 	}
+	flight := len(events) > 0 && events[0].Ph != "X"
+	var n int
+	if flight {
+		n, err = checkFlight(path, events)
+	} else {
+		n, err = checkComplete(path, events)
+	}
+	if err != nil {
+		return 0, err
+	}
+	if n < minSpans {
+		return 0, fmt.Errorf("%s: %d spans, want at least %d", path, n, minSpans)
+	}
+	return n, nil
+}
+
+// checkComplete validates an all-"X" trace and returns its span count.
+func checkComplete(path string, events []event) (int, error) {
 	for i, ev := range events {
 		switch {
 		case ev.Name == "":
@@ -68,8 +103,73 @@ func check(path string, minSpans int) (int, error) {
 			return 0, fmt.Errorf("%s: event %d (%s) lacks pid/tid lanes", path, i, ev.Name)
 		}
 	}
-	if len(events) < minSpans {
-		return 0, fmt.Errorf("%s: %d spans, want at least %d", path, len(events), minSpans)
-	}
 	return len(events), nil
+}
+
+// lane identifies one trace row.
+type lane struct{ pid, tid int }
+
+// openSpan is one unmatched B event during flight validation.
+type openSpan struct {
+	name string
+	idx  int
+}
+
+// checkFlight validates a B/E flight dump: per-lane monotonic
+// timestamps, properly nested same-name B/E pairs with nothing left
+// open, and non-negative queue_wait_us args. Returns the span (B
+// event) count.
+func checkFlight(path string, events []event) (int, error) {
+	lastTS := map[lane]float64{}
+	stacks := map[lane][]openSpan{}
+	spans := 0
+	for i, ev := range events {
+		if ev.Name == "" {
+			return 0, fmt.Errorf("%s: event %d has no name", path, i)
+		}
+		if ev.TS == nil || *ev.TS < 0 {
+			return 0, fmt.Errorf("%s: event %d (%s) has a missing or negative ts", path, i, ev.Name)
+		}
+		if ev.PID == nil || ev.TID == nil {
+			return 0, fmt.Errorf("%s: event %d (%s) lacks pid/tid lanes", path, i, ev.Name)
+		}
+		ln := lane{*ev.PID, *ev.TID}
+		if prev, seen := lastTS[ln]; seen && *ev.TS < prev {
+			return 0, fmt.Errorf("%s: event %d (%s) goes back in time on lane %d/%d: ts %v after %v",
+				path, i, ev.Name, ln.pid, ln.tid, *ev.TS, prev)
+		}
+		lastTS[ln] = *ev.TS
+		if raw, ok := ev.RawArgs["queue_wait_us"]; ok {
+			var v float64
+			if err := json.Unmarshal(raw, &v); err != nil || v < 0 {
+				return 0, fmt.Errorf("%s: event %d (%s) has a non-numeric or negative queue_wait_us %s", path, i, ev.Name, raw)
+			}
+		}
+		switch ev.Ph {
+		case "B":
+			stacks[ln] = append(stacks[ln], openSpan{name: ev.Name, idx: i})
+			spans++
+		case "E":
+			st := stacks[ln]
+			if len(st) == 0 {
+				return 0, fmt.Errorf("%s: event %d (%s) ends a span that never began on lane %d/%d", path, i, ev.Name, ln.pid, ln.tid)
+			}
+			top := st[len(st)-1]
+			if top.name != ev.Name {
+				return 0, fmt.Errorf("%s: event %d ends %q but lane %d/%d's innermost open span is %q (event %d); B/E pairs must nest",
+					path, i, ev.Name, ln.pid, ln.tid, top.name, top.idx)
+			}
+			stacks[ln] = st[:len(st)-1]
+		default:
+			return 0, fmt.Errorf("%s: event %d (%s) has phase %q, want \"B\" or \"E\" in a flight dump", path, i, ev.Name, ev.Ph)
+		}
+	}
+	for ln, st := range stacks {
+		if len(st) > 0 {
+			top := st[len(st)-1]
+			return 0, fmt.Errorf("%s: span %q (event %d) on lane %d/%d never ends; %d B events lack an E",
+				path, top.name, top.idx, ln.pid, ln.tid, len(st))
+		}
+	}
+	return spans, nil
 }

@@ -48,3 +48,61 @@ func TestCheckRejectsBadTraces(t *testing.T) {
 		t.Error("missing file accepted")
 	}
 }
+
+func TestCheckAcceptsValidFlightDump(t *testing.T) {
+	// Two lanes; lane 0 has a nested child and a queue_wait_us arg.
+	p := write(t, `[
+{"name":"request","ph":"B","ts":0,"pid":1,"tid":0,"args":{"lane":0}},
+{"name":"eval","ph":"B","ts":2,"pid":1,"tid":0,"args":{"queue_wait_us":1.5}},
+{"name":"request","ph":"B","ts":3,"pid":1,"tid":1},
+{"name":"eval","ph":"E","ts":8,"pid":1,"tid":0},
+{"name":"request","ph":"E","ts":9,"pid":1,"tid":0},
+{"name":"request","ph":"E","ts":12,"pid":1,"tid":1}
+]`)
+	n, err := check(p, 3)
+	if err != nil || n != 3 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+}
+
+func TestCheckRejectsBadFlightDumps(t *testing.T) {
+	cases := map[string]string{
+		"unbalanced B": `[{"name":"a","ph":"B","ts":0,"pid":1,"tid":0}]`,
+		"E without B":  `[{"name":"a","ph":"E","ts":0,"pid":1,"tid":0}]`,
+		"mismatched nesting": `[
+{"name":"a","ph":"B","ts":0,"pid":1,"tid":0},
+{"name":"b","ph":"B","ts":1,"pid":1,"tid":0},
+{"name":"a","ph":"E","ts":2,"pid":1,"tid":0},
+{"name":"b","ph":"E","ts":3,"pid":1,"tid":0}
+]`,
+		"time goes backward in lane": `[
+{"name":"a","ph":"B","ts":5,"pid":1,"tid":0},
+{"name":"a","ph":"E","ts":3,"pid":1,"tid":0}
+]`,
+		"negative queue_wait_us": `[
+{"name":"a","ph":"B","ts":0,"pid":1,"tid":0,"args":{"queue_wait_us":-2}},
+{"name":"a","ph":"E","ts":1,"pid":1,"tid":0}
+]`,
+		"mixed dialects": `[
+{"name":"a","ph":"B","ts":0,"pid":1,"tid":0},
+{"name":"x","ph":"X","ts":0,"dur":1,"pid":1,"tid":0},
+{"name":"a","ph":"E","ts":1,"pid":1,"tid":0}
+]`,
+		"no lanes in flight": `[{"name":"a","ph":"B","ts":0}]`,
+	}
+	for label, body := range cases {
+		if _, err := check(write(t, body), 0); err == nil {
+			t.Errorf("%s: accepted", label)
+		}
+	}
+	// Monotonicity is per lane: interleaved lanes may cross in ts.
+	p := write(t, `[
+{"name":"a","ph":"B","ts":5,"pid":1,"tid":0},
+{"name":"b","ph":"B","ts":2,"pid":1,"tid":1},
+{"name":"a","ph":"E","ts":7,"pid":1,"tid":0},
+{"name":"b","ph":"E","ts":9,"pid":1,"tid":1}
+]`)
+	if _, err := check(p, 2); err != nil {
+		t.Fatalf("cross-lane ts ordering rejected: %v", err)
+	}
+}

@@ -20,6 +20,14 @@
 // a package would fuse unrelated series into one — flagged in a
 // namespace separate from expvar's (an obs histogram may legitimately
 // share a name with a derived expvar key).
+//
+// Metrics-history series registered through (*obs.History).Register
+// get the same treatment in a third namespace: Register silently
+// replaces an existing sampler (that is how RegisterHistogram rebinds
+// derived series), so a duplicated constant name at two call sites
+// drops the first series without any runtime signal. Computed names
+// (the per-endpoint series internal/service derives from routes) are
+// out of scope, like every non-constant name.
 package metricreg
 
 import (
@@ -78,6 +86,7 @@ func run(pass *lint.Pass) error {
 	// derives expvar keys from obs histograms.
 	seen := map[string]token.Pos{}
 	seenObs := map[string]token.Pos{}
+	seenHist := map[string]token.Pos{}
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
@@ -93,7 +102,8 @@ func run(pass *lint.Pass) error {
 			global := pkgPath == "expvar" && noRecv && registerFuncs[fn.Name()]
 			mapSet := pkgPath == "expvar" && typeutil.IsNamed(recvType(fn), "expvar", "Map") && fn.Name() == "Set"
 			obsReg := isObsPkg(pkgPath) && noRecv && obsRegisterFuncs[fn.Name()]
-			if !global && !mapSet && !obsReg {
+			histReg := isObsPkg(pkgPath) && typeutil.IsNamedSuffix(recvType(fn), "obs", "History") && fn.Name() == "Register"
+			if !global && !mapSet && !obsReg && !histReg {
 				return true
 			}
 			name, ok := constString(pass, call.Args[0])
@@ -115,6 +125,12 @@ func run(pass *lint.Pass) error {
 					pass.Reportf(call.Args[0].Pos(), "obs metric %q registered more than once (first at %s); duplicate names fuse into one Prometheus series", name, pass.Fset.Position(first))
 				} else {
 					seenObs[name] = call.Args[0].Pos()
+				}
+			case histReg:
+				if first, dup := seenHist[name]; dup {
+					pass.Reportf(call.Args[0].Pos(), "history series %q registered more than once (first at %s); Register silently replaces the earlier sampler", name, pass.Fset.Position(first))
+				} else {
+					seenHist[name] = call.Args[0].Pos()
 				}
 			}
 			return true

@@ -18,3 +18,14 @@ type Counter struct{ name string }
 
 // NewCounter stands in for obs.NewCounter.
 func NewCounter(name string) *Counter { return &Counter{name: name} }
+
+// History stands in for obs.History, the metrics-history store.
+type History struct{}
+
+// Register stands in for (*obs.History).Register — the registration
+// point the analyzer checks.
+func (h *History) Register(name string, fn func() float64) {}
+
+// RegisterCounter is here so fixtures can exercise a History method
+// that takes no name and must NOT count as a registration.
+func (h *History) RegisterCounter(c *Counter) {}

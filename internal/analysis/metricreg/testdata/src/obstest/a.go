@@ -24,6 +24,17 @@ func dynamic(name string) {
 	evalHist.Observe(1)    // method call, not a registration
 }
 
+func historySeries(h *obs.History, route string) {
+	h.Register("requests_total", func() float64 { return 0 })
+	h.Register("HeapBytes", func() float64 { return 0 })      // want `metric name "HeapBytes" is not snake_case`
+	h.Register("requests_total", func() float64 { return 0 }) // want `history series "requests_total" registered more than once`
+	// History names are a namespace of their own: sharing a name with
+	// an obs instrument or an expvar key is the documented pattern.
+	h.Register("memo_hits", func() float64 { return 0 })
+	h.Register("endpoint_"+route, func() float64 { return 0 }) // computed: out of scope
+	h.RegisterCounter(hits)                                    // no name argument, not a registration
+}
+
 func suppressed() {
 	//lint:ignore metricreg exercising the suppression path
 	obs.NewCounter("Legacy-Counter")

@@ -1,0 +1,25 @@
+package obstest
+
+// want:none
+
+import "obs"
+
+// A clean registration surface: unique snake_case names across every
+// registration kind, derived series built from computed names, and
+// method calls that take no name. Nothing here may be flagged.
+
+var (
+	waitHist  = obs.NewHistogram("queue_wait_duration")
+	flights   = obs.NewCounter("shared_flights")
+	histStore = &obs.History{}
+)
+
+func wire(routes []string) {
+	histStore.Register("goroutines", func() float64 { return 0 })
+	histStore.Register("heap_bytes", func() float64 { return 0 })
+	histStore.RegisterCounter(flights)
+	for _, route := range routes {
+		histStore.Register("endpoint_"+route+"_p99_ns", func() float64 { return 0 })
+	}
+	waitHist.Observe(1)
+}

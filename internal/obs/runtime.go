@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+)
+
+// runtimeSeries maps each exported history series onto the
+// runtime/metrics sample it reads. Heap and goroutine pressure, GC
+// pause and scheduler latency tails, and the GC cycle counter are the
+// five signals that explain almost every "the service got slow but
+// the endpoints look fine" incident.
+var runtimeSeries = []struct {
+	name   string // history series, snake_case
+	metric string // runtime/metrics key
+	p99    bool   // true: metric is a histogram, sample its p99
+	scale  float64
+}{
+	{name: "runtime_heap_bytes", metric: "/memory/classes/heap/objects:bytes"},
+	{name: "runtime_goroutines", metric: "/sched/goroutines:goroutines"},
+	{name: "runtime_gc_cycles", metric: "/gc/cycles/total:gc-cycles"},
+	{name: "runtime_gc_pause_p99_ns", metric: "/gc/pauses:seconds", p99: true, scale: 1e9},
+	{name: "runtime_sched_latency_p99_ns", metric: "/sched/latencies:seconds", p99: true, scale: 1e9},
+}
+
+// RegisterRuntimeSeries registers the Go runtime collector's series on
+// h. Each sampler reads exactly one runtime/metrics sample per tick
+// (~µs); a metric the running toolchain does not export samples as 0
+// rather than failing the tick.
+func RegisterRuntimeSeries(h *History) {
+	for _, rs := range runtimeSeries {
+		rs := rs
+		sample := make([]metrics.Sample, 1)
+		sample[0].Name = rs.metric
+		h.Register(rs.name, func() float64 {
+			metrics.Read(sample)
+			switch sample[0].Value.Kind() {
+			case metrics.KindUint64:
+				return float64(sample[0].Value.Uint64())
+			case metrics.KindFloat64:
+				return sample[0].Value.Float64()
+			case metrics.KindFloat64Histogram:
+				v := histQuantile(sample[0].Value.Float64Histogram(), 0.99)
+				if rs.scale != 0 {
+					v *= rs.scale
+				}
+				return v
+			default:
+				return 0
+			}
+		})
+	}
+}
+
+// histQuantile estimates the q-quantile of a runtime/metrics
+// histogram from its bucket counts, interpolating inside the covering
+// bucket. Infinite bucket edges clamp to the nearest finite edge.
+func histQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	if h == nil || len(h.Counts) == 0 {
+		return 0
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var seen float64
+	for i, c := range h.Counts {
+		seen += float64(c)
+		if seen >= rank {
+			lo, hi := h.Buckets[i], h.Buckets[i+1]
+			if math.IsInf(lo, -1) {
+				lo = 0
+			}
+			if math.IsInf(hi, 1) {
+				hi = lo
+			}
+			frac := 1.0
+			if c > 0 {
+				frac = (rank - (seen - float64(c))) / float64(c)
+			}
+			return lo + frac*(hi-lo)
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1]
+}

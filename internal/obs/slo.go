@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// SLO is one endpoint's service-level objectives: a latency target on
+// the rolling p99 and/or an allowed error-rate budget. The zero field
+// means "no objective on that axis".
+type SLO struct {
+	Endpoint string        // route, e.g. "/v1/sweep"
+	P99      time.Duration // 0 = no latency objective
+	ErrRate  float64       // allowed error fraction in (0,1]; 0 = no error objective
+}
+
+// ParseSLOs parses tradeoffd's -slo flag grammar: semicolon-separated
+// per-endpoint objective lists,
+//
+//	sweep:p99<250ms,err<1%;stall:p99<2s
+//
+// where a bare endpoint name maps onto its /v1/ route ("sweep" →
+// "/v1/sweep") and a name starting with '/' is used verbatim, so
+// "/healthz:p99<5ms" works too. Percentages accept "1%" and bare
+// fractions "0.01".
+func ParseSLOs(spec string) ([]SLO, error) {
+	var out []SLO
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		name, objs, ok := strings.Cut(clause, ":")
+		if !ok {
+			return nil, fmt.Errorf("slo %q: want endpoint:objectives (e.g. sweep:p99<250ms,err<1%%)", clause)
+		}
+		name = strings.TrimSpace(name)
+		if name == "" {
+			return nil, fmt.Errorf("slo %q: empty endpoint", clause)
+		}
+		slo := SLO{Endpoint: name}
+		if !strings.HasPrefix(name, "/") {
+			slo.Endpoint = "/v1/" + name
+		}
+		for _, obj := range strings.Split(objs, ",") {
+			obj = strings.TrimSpace(obj)
+			kind, val, ok := strings.Cut(obj, "<")
+			if !ok {
+				return nil, fmt.Errorf("slo %q: objective %q wants metric<bound", clause, obj)
+			}
+			switch strings.TrimSpace(kind) {
+			case "p99":
+				d, err := time.ParseDuration(strings.TrimSpace(val))
+				if err != nil || d <= 0 {
+					return nil, fmt.Errorf("slo %q: bad p99 bound %q", clause, val)
+				}
+				slo.P99 = d
+			case "err":
+				r, err := parseRate(strings.TrimSpace(val))
+				if err != nil {
+					return nil, fmt.Errorf("slo %q: %w", clause, err)
+				}
+				slo.ErrRate = r
+			default:
+				return nil, fmt.Errorf("slo %q: unknown objective %q (want p99 or err)", clause, kind)
+			}
+		}
+		if slo.P99 == 0 && slo.ErrRate == 0 {
+			return nil, fmt.Errorf("slo %q: no objectives", clause)
+		}
+		out = append(out, slo)
+	}
+	return out, nil
+}
+
+// parseRate parses "1%" or "0.01" into a fraction in (0, 1].
+func parseRate(s string) (float64, error) {
+	pct := strings.HasSuffix(s, "%")
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad error rate %q", s)
+	}
+	if pct {
+		v /= 100
+	}
+	if v <= 0 || v > 1 {
+		return 0, fmt.Errorf("error rate %q out of (0%%, 100%%]", s)
+	}
+	return v, nil
+}
+
+// ErrorBurnRate converts a windowed (Δrequests, Δerrors) pair and an
+// error budget into the standard burn rate: observed error rate over
+// allowed error rate. 1.0 means the budget is being consumed exactly
+// as fast as the window rolls; >1 means the budget exhausts early —
+// the multi-window alerting quantity of the SRE workbook. A window
+// with no requests burns nothing.
+func ErrorBurnRate(deltaReq, deltaErr, budget float64) float64 {
+	if deltaReq <= 0 || budget <= 0 {
+		return 0
+	}
+	rate := deltaErr / deltaReq
+	if rate < 0 {
+		return 0
+	}
+	return rate / budget
+}
+
+// LatencyBurnRate scores a latency objective: the windowed p99 over
+// its target. Dimensionless like the error burn — 1.0 is exactly on
+// objective, above it the tail is out of budget.
+func LatencyBurnRate(p99 time.Duration, target time.Duration) float64 {
+	if target <= 0 || p99 <= 0 {
+		return 0
+	}
+	return float64(p99) / float64(target)
+}

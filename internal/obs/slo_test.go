@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseSLOs(t *testing.T) {
+	slos, err := ParseSLOs("sweep:p99<250ms,err<1%;stall:p99<2s;/healthz:err<0.001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []SLO{
+		{Endpoint: "/v1/sweep", P99: 250 * time.Millisecond, ErrRate: 0.01},
+		{Endpoint: "/v1/stall", P99: 2 * time.Second},
+		{Endpoint: "/healthz", ErrRate: 0.001},
+	}
+	if len(slos) != len(want) {
+		t.Fatalf("parsed %d SLOs, want %d: %+v", len(slos), len(want), slos)
+	}
+	for i := range want {
+		if slos[i] != want[i] {
+			t.Fatalf("slo %d = %+v, want %+v", i, slos[i], want[i])
+		}
+	}
+}
+
+func TestParseSLOsRejectsBadSpecs(t *testing.T) {
+	for _, spec := range []string{
+		"sweep",                // no objectives separator
+		"sweep:",               // empty objectives
+		":p99<250ms",           // empty endpoint
+		"sweep:p99<banana",     // bad duration
+		"sweep:p99<-1s",        // negative target
+		"sweep:err<150%",       // rate out of range
+		"sweep:err<0",          // zero rate
+		"sweep:cpu<50%",        // unknown objective
+		"sweep:p99=250ms",      // wrong comparator
+		"sweep:p99<1s;;stall:", // empty clause tolerated, bad clause not
+	} {
+		if _, err := ParseSLOs(spec); err == nil {
+			t.Errorf("ParseSLOs(%q) accepted", spec)
+		}
+	}
+	// Pure separators parse to no SLOs, not an error.
+	if slos, err := ParseSLOs(" ; "); err != nil || len(slos) != 0 {
+		t.Fatalf("ParseSLOs(\" ; \") = %v, %v", slos, err)
+	}
+}
+
+func TestErrorBurnRate(t *testing.T) {
+	// 2% observed errors against a 1% budget burns at 2×.
+	if got := ErrorBurnRate(1000, 20, 0.01); got != 2 {
+		t.Fatalf("burn = %v, want 2", got)
+	}
+	// Exactly on budget burns at 1×.
+	if got := ErrorBurnRate(1000, 10, 0.01); got != 1 {
+		t.Fatalf("burn = %v, want 1", got)
+	}
+	// No traffic, negative deltas (counter reset) and zero budget burn 0.
+	for label, got := range map[string]float64{
+		"no requests":    ErrorBurnRate(0, 5, 0.01),
+		"negative delta": ErrorBurnRate(100, -5, 0.01),
+		"zero budget":    ErrorBurnRate(100, 5, 0),
+	} {
+		if got != 0 {
+			t.Errorf("%s: burn = %v, want 0", label, got)
+		}
+	}
+}
+
+func TestLatencyBurnRate(t *testing.T) {
+	if got := LatencyBurnRate(500*time.Millisecond, 250*time.Millisecond); got != 2 {
+		t.Fatalf("burn = %v, want 2", got)
+	}
+	if got := LatencyBurnRate(100*time.Millisecond, 250*time.Millisecond); got != 0.4 {
+		t.Fatalf("burn = %v, want 0.4", got)
+	}
+	if got := LatencyBurnRate(0, 250*time.Millisecond); got != 0 {
+		t.Fatalf("no-data burn = %v, want 0", got)
+	}
+	if got := LatencyBurnRate(100*time.Millisecond, 0); got != 0 {
+		t.Fatalf("no-target burn = %v, want 0", got)
+	}
+}

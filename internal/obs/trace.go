@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"io"
@@ -20,8 +21,17 @@ type Tracer struct {
 	epoch time.Time
 	now   func() time.Time // test hook; defaults to time.Now
 
-	mu     sync.Mutex
-	events []traceEvent
+	// ring, when set, receives a copy of every completed span — the
+	// tee into the always-on flight recorder (see SpanRing).
+	ring *SpanRing
+	// limit, when > 0, bounds the retained event list; spans completed
+	// beyond it still reach the ring but are dropped from events, so a
+	// per-request tracer cannot grow without bound on a huge sweep.
+	limit int
+
+	mu      sync.Mutex
+	events  []traceEvent
+	dropped int64
 }
 
 // traceEvent is one complete ("ph":"X") trace_event record. pid is
@@ -42,6 +52,29 @@ func NewTracer() *Tracer {
 	t := &Tracer{now: time.Now}
 	t.epoch = t.now()
 	return t
+}
+
+// NewRequestTracer returns the tracer the service installs on every
+// request when the flight recorder is on: completed spans tee into
+// ring, and at most limit of them (0 = unlimited) are retained
+// locally for tail-based exemplar capture.
+func NewRequestTracer(ring *SpanRing, limit int) *Tracer {
+	t := NewTracer()
+	// The tracer is not shared yet, but limit is mutex-guarded at its
+	// read sites; taking the uncontended lock here keeps that invariant
+	// whole-program (and lockguard-checkable).
+	t.mu.Lock()
+	t.ring = ring
+	t.limit = limit
+	t.mu.Unlock()
+	return t
+}
+
+// Dropped returns how many spans the event limit discarded.
+func (t *Tracer) Dropped() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
 }
 
 // Span is one in-progress traced operation. The zero of the API is a
@@ -114,8 +147,15 @@ func (s *Span) End() {
 		Args: s.args,
 	}
 	t.mu.Lock()
-	t.events = append(t.events, ev)
+	if t.limit > 0 && len(t.events) >= t.limit {
+		t.dropped++
+	} else {
+		t.events = append(t.events, ev)
+	}
 	t.mu.Unlock()
+	if t.ring != nil {
+		t.ring.Record(SpanRecord{Name: s.name, Start: s.start, Dur: end.Sub(s.start), TID: s.tid, Args: s.args})
+	}
 }
 
 // Len returns the number of completed spans.
@@ -151,6 +191,16 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 	}
 	_, err := io.WriteString(w, "]\n")
 	return err
+}
+
+// JSON returns the completed spans as a trace_event JSON array — the
+// payload exemplar capture pins for a slow request.
+func (t *Tracer) JSON() []byte {
+	var buf bytes.Buffer
+	if err := t.WriteJSON(&buf); err != nil {
+		return []byte("[]\n") // only a Marshal failure, which traceEvent cannot produce
+	}
+	return buf.Bytes()
 }
 
 // WriteFile writes the trace_event JSON to path.

@@ -1,0 +1,196 @@
+// The live dashboard: GET /debug/dash serves one self-contained HTML
+// page (no external assets, no build step) that backfills its
+// sparklines from /metrics/history and then follows the snapshot
+// stream at /debug/dash?stream=sse — one Server-Sent Event per
+// history tick, fanned out through History.Subscribe.
+
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// handleDash serves the dashboard page, or the SSE snapshot stream
+// with ?stream=sse. The stream sends one "tick" event per history
+// snapshot; a subscriber that cannot keep up misses ticks rather than
+// stalling the schedule (History.Tick drops on a full channel), and a
+// disconnected client unsubscribes via its request context.
+func (s *Server) handleDash(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	if r.URL.Query().Get("stream") != "sse" {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		_, _ = w.Write([]byte(dashHTML)) // a failed write means the client left
+		return
+	}
+
+	rc := http.NewResponseController(w)
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	if err := rc.Flush(); err != nil {
+		return // the writer cannot stream; nothing useful to send
+	}
+
+	ch, cancel := s.history.Subscribe(4)
+	defer cancel()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case snap, ok := <-ch:
+			if !ok {
+				return
+			}
+			data, err := json.Marshal(snap)
+			if err != nil {
+				return // TickSnapshot cannot fail to marshal
+			}
+			if _, err := fmt.Fprintf(w, "event: tick\ndata: %s\n\n", data); err != nil {
+				return // client left
+			}
+			if err := rc.Flush(); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// dashHTML is the whole dashboard. Kept deliberately dependency-free:
+// vanilla JS, canvas sparklines, EventSource. The page backfills 15
+// minutes of history, then appends live ticks; derived charts (QPS
+// from the requests_total delta) are computed client-side.
+const dashHTML = `<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>tradeoffd live</title>
+<style>
+  body { font: 13px/1.4 system-ui, sans-serif; margin: 1.2em; background: #11151a; color: #d6dde6; }
+  h1 { font-size: 1.1em; font-weight: 600; margin: 0 0 .2em; }
+  #meta { color: #7d8a90; margin-bottom: 1em; }
+  #grid { display: grid; grid-template-columns: repeat(auto-fill, minmax(260px, 1fr)); gap: 10px; }
+  .card { background: #1a2129; border: 1px solid #2a333d; border-radius: 6px; padding: 8px 10px; }
+  .card h2 { font-size: .78em; font-weight: 500; margin: 0 0 4px; color: #9fb0bf; word-break: break-all; }
+  .card .val { font-size: 1.05em; font-variant-numeric: tabular-nums; color: #e8f0f7; }
+  .burn { border-color: #a33; }
+  canvas { width: 100%; height: 46px; display: block; margin-top: 4px; }
+</style>
+</head>
+<body>
+<h1>tradeoffd live</h1>
+<div id="meta">flight recorder · metrics history · SLO burn — <span id="status">connecting…</span></div>
+<div id="grid"></div>
+<script>
+"use strict";
+const MAXPTS = 180;                   // points kept per sparkline
+const series = new Map();             // name -> {card, canvas, val, data: [{t,v}]}
+const grid = document.getElementById("grid");
+const statusEl = document.getElementById("status");
+
+// Derived charts first so they pin the top row.
+const DERIVED = [
+  { name: "qps", from: "requests_total", rate: true },
+  { name: "error_rate", from: "errors_total", rate: true },
+];
+
+function fmt(v) {
+  if (!isFinite(v)) return "–";
+  const a = Math.abs(v);
+  if (a >= 1e9) return (v / 1e9).toFixed(2) + "G";
+  if (a >= 1e6) return (v / 1e6).toFixed(2) + "M";
+  if (a >= 1e3) return (v / 1e3).toFixed(2) + "k";
+  if (a > 0 && a < 0.01) return v.toExponential(1);
+  return +v.toFixed(3) + "";
+}
+
+function card(name) {
+  if (series.has(name)) return series.get(name);
+  const el = document.createElement("div");
+  el.className = "card";
+  el.innerHTML = "<h2></h2><div class=val>–</div><canvas></canvas>";
+  el.querySelector("h2").textContent = name;
+  grid.appendChild(el);
+  const s = { el, canvas: el.querySelector("canvas"), val: el.querySelector(".val"), data: [] };
+  series.set(name, s);
+  return s;
+}
+
+function push(name, t, v) {
+  const s = card(name);
+  s.data.push({ t, v });
+  if (s.data.length > MAXPTS) s.data.shift();
+  draw(s);
+}
+
+function draw(s) {
+  const c = s.canvas, ctx = c.getContext("2d");
+  c.width = c.clientWidth * devicePixelRatio;
+  c.height = c.clientHeight * devicePixelRatio;
+  ctx.clearRect(0, 0, c.width, c.height);
+  const d = s.data;
+  if (!d.length) return;
+  s.val.textContent = fmt(d[d.length - 1].v);
+  let lo = Infinity, hi = -Infinity;
+  for (const p of d) { if (p.v < lo) lo = p.v; if (p.v > hi) hi = p.v; }
+  if (hi === lo) { hi += 1; lo -= 1; }
+  ctx.strokeStyle = "#5fb4e8";
+  ctx.lineWidth = devicePixelRatio;
+  ctx.beginPath();
+  d.forEach((p, i) => {
+    const x = i / Math.max(1, d.length - 1) * (c.width - 2) + 1;
+    const y = c.height - 2 - (p.v - lo) / (hi - lo) * (c.height - 4);
+    i ? ctx.lineTo(x, y) : ctx.moveTo(x, y);
+  });
+  ctx.stroke();
+}
+
+// Derived rates: per-second delta of a cumulative series.
+const lastRaw = new Map();
+function derive(t, values) {
+  for (const dv of DERIVED) {
+    const v = values[dv.from];
+    if (v === undefined) continue;
+    const prev = lastRaw.get(dv.name);
+    lastRaw.set(dv.name, { t, v });
+    if (!prev || t <= prev.t) continue;
+    push(dv.name, t, Math.max(0, (v - prev.v) / ((t - prev.t) / 1000)));
+  }
+}
+
+function applyTick(t, values) {
+  derive(t, values);
+  for (const [name, v] of Object.entries(values)) push(name, t, v);
+}
+
+fetch("/metrics/history?window=15m")
+  .then(r => r.json())
+  .then(doc => {
+    // Backfill: replay the history as ticks, oldest first.
+    const ticks = new Map(); // t -> values
+    for (const [name, samples] of Object.entries(doc.series || {})) {
+      for (const p of samples) {
+        if (!ticks.has(p.t)) ticks.set(p.t, {});
+        ticks.get(p.t)[name] = p.v;
+      }
+    }
+    [...ticks.keys()].sort((a, b) => a - b).forEach(t => applyTick(t, ticks.get(t)));
+  })
+  .catch(() => {})
+  .finally(() => {
+    const es = new EventSource("/debug/dash?stream=sse");
+    es.onopen = () => { statusEl.textContent = "live"; };
+    es.onerror = () => { statusEl.textContent = "reconnecting…"; };
+    es.addEventListener("tick", ev => {
+      const snap = JSON.parse(ev.data);
+      applyTick(snap.t, snap.values);
+    });
+  });
+</script>
+</body>
+</html>
+`

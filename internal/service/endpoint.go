@@ -86,6 +86,10 @@ func handle[Req, Res any](s *Server, ep endpoint[Req, Res]) http.HandlerFunc {
 		}
 
 		key := ep.name + "|" + format + "|" + string(canon)
+		ri := reqInfoFrom(r.Context())
+		if ri != nil {
+			ri.key = keyHash(key)
+		}
 		resp, shared, err := s.cache.Do(r.Context(), key, func(ctx context.Context) (cachedResponse, error) {
 			s.metrics.evaluations(ep.name).Add(1)
 			res, err := ep.run(ctx, req)
@@ -118,6 +122,9 @@ func handle[Req, Res any](s *Server, ep endpoint[Req, Res]) http.HandlerFunc {
 			cacheState = "hit"
 		} else {
 			s.metrics.cacheMisses.Add(1)
+		}
+		if ri != nil {
+			ri.cache = cacheState
 		}
 		w.Header().Set("Content-Type", resp.contentType)
 		w.Header().Set("X-Cache", cacheState)

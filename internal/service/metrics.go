@@ -51,6 +51,14 @@ type metrics struct {
 	// cacheBytes reads the response memo's live byte total — the gauge
 	// behind the byte-bounded LRU. Wired by New.
 	cacheBytes func() int64
+
+	// sloJSON and sloProm render the SLO layer's burn-rate state into
+	// the two /metrics formats. Both are nil unless the server was
+	// configured with objectives, which keeps the default output —
+	// including the Prometheus golden — byte-identical to a server
+	// without an SLO layer. Wired by New.
+	sloJSON func() []byte
+	sloProm func(*bytes.Buffer)
 }
 
 func newMetrics() *metrics {
@@ -168,11 +176,18 @@ func (v rawVar) String() string { return string(v) }
 type statusWriter struct {
 	http.ResponseWriter
 	status int
+	bytes  int64 // response body bytes written (wide-event access log)
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.status = code
 	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
 }
 
 // Unwrap exposes the underlying writer to http.ResponseController,
@@ -201,6 +216,9 @@ func (m *metrics) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 		m.requests.Add(1)
 		m.inFlight.Add(1)
 		ep.Get("requests").(*expvar.Int).Add(1)
+		if ri := reqInfoFrom(r.Context()); ri != nil {
+			ri.endpoint = name // the wide-event log's endpoint dimension
+		}
 
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		defer func() {
@@ -266,6 +284,12 @@ func (m *metrics) serveHTTP(w http.ResponseWriter, r *http.Request) {
 		{"endpoints", &m.endpoints},
 		{"xval_passes", &xvalPasses},
 		{"xval", rawVar(xvalDoc)},
+	}
+	if m.sloJSON != nil {
+		vars = append(vars, struct {
+			name string
+			v    expvar.Var
+		}{"slo", rawVar(m.sloJSON())})
 	}
 	sort.Slice(vars, func(i, j int) bool { return vars[i].name < vars[j].name })
 	var buf bytes.Buffer

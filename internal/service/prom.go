@@ -94,6 +94,13 @@ func (m *metrics) servePrometheus(w http.ResponseWriter) {
 		}
 	}
 
+	// SLO burn-rate gauges — appended after every pre-existing block
+	// and only when objectives are configured, so the default document
+	// stays byte-identical to a server without an SLO layer.
+	if m.sloProm != nil {
+		m.sloProm(&buf)
+	}
+
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = w.Write(buf.Bytes()) // a failed write means the client left
 }

@@ -97,6 +97,27 @@ type Options struct {
 	// /debug/pprof/. Off by default: profiling handlers expose enough
 	// internals that they are opt-in (tradeoffd's -pprof flag).
 	Pprof bool
+	// FlightSpans bounds the always-on flight recorder's span ring
+	// (default 8192; negative disables the recorder entirely, which
+	// also turns off exemplar capture and /debug/flight).
+	FlightSpans int
+	// SlowFactor is the tail-sampling threshold: a request slower than
+	// SlowFactor × its endpoint's rolling p99 pins its full span tree
+	// as an exemplar (default 8; only applies once the endpoint has
+	// seen enough traffic for a meaningful p99).
+	SlowFactor float64
+	// SlowKeep bounds the exemplar store (default 16, oldest evicted
+	// first; negative disables capture).
+	SlowKeep int
+	// HistoryInterval is the metrics-history snapshot cadence (default
+	// 10s) and HistoryWindow the retention per series (default 1h);
+	// together they size the fixed per-series rings.
+	HistoryInterval time.Duration
+	HistoryWindow   time.Duration
+	// SLOs holds the per-endpoint objectives behind the tradeoffd_slo_*
+	// gauges and burn-rate warnings; empty leaves /metrics output
+	// byte-identical to a server without an SLO layer.
+	SLOs []obs.SLO
 }
 
 // cachedResponse is one memoized endpoint response: the exact bytes
@@ -117,6 +138,12 @@ type Server struct {
 	runner  *simjob.Runner
 	curves  *mrc.CurveCache
 	models  *model.Cache
+
+	// Observability tier 2 (flight recorder, metrics history, SLOs).
+	epoch     time.Time     // flight-dump timestamp origin
+	ring      *obs.SpanRing // nil when the recorder is disabled
+	exemplars *obs.Exemplars
+	history   *obs.History
 }
 
 // New builds a Server with its routes registered.
@@ -132,6 +159,21 @@ func New(opts Options) *Server {
 	}
 	if opts.StallLimits == (simjob.Limits{}) {
 		opts.StallLimits = simjob.DefaultLimits
+	}
+	if opts.FlightSpans == 0 {
+		opts.FlightSpans = 8192
+	}
+	if opts.SlowFactor <= 0 {
+		opts.SlowFactor = 8
+	}
+	if opts.SlowKeep == 0 {
+		opts.SlowKeep = 16
+	}
+	if opts.HistoryInterval <= 0 {
+		opts.HistoryInterval = 10 * time.Second
+	}
+	if opts.HistoryWindow <= 0 {
+		opts.HistoryWindow = time.Hour
 	}
 	s := &Server{
 		opts: opts,
@@ -151,12 +193,34 @@ func New(opts Options) *Server {
 	}
 	s.metrics.cacheBytes = s.cache.Bytes
 	s.metrics.engine = s.stats
+	s.epoch = time.Now()
+	if opts.FlightSpans > 0 {
+		s.ring = obs.NewSpanRing(opts.FlightSpans)
+		if opts.SlowKeep > 0 {
+			s.exemplars = obs.NewExemplars(opts.SlowKeep)
+		}
+	}
+	s.history = obs.NewHistory(opts.HistoryInterval, opts.HistoryWindow)
 	s.mux.HandleFunc("/v1/tradeoff", s.metrics.instrument("/v1/tradeoff", handle(s, s.tradeoffEndpoint())))
 	s.mux.HandleFunc("/v1/sweep", s.metrics.instrument("/v1/sweep", handle(s, s.sweepEndpoint())))
 	s.mux.HandleFunc("/v1/stall", s.metrics.instrument("/v1/stall", handle(s, s.stallEndpoint())))
 	s.mux.HandleFunc("/v1/optimize", s.metrics.instrument("/v1/optimize", handle(s, s.optimizeEndpoint())))
 	s.mux.HandleFunc("/healthz", s.metrics.instrument("/healthz", s.handleHealthz))
 	s.mux.HandleFunc("/metrics", s.metrics.serveHTTP)
+	// The observability surface itself stays uninstrumented, like
+	// /metrics always has: meta-endpoints must not add series to the
+	// documents they serve (the Prometheus golden pins that the
+	// endpoint set is unchanged), and the dashboard's SSE stream would
+	// distort any duration summary it appeared in.
+	s.mux.HandleFunc("/metrics/history", s.handleHistory)
+	s.mux.HandleFunc("/debug/flight", s.handleFlight)
+	s.mux.HandleFunc("/debug/slow", s.handleSlow)
+	s.mux.HandleFunc("/debug/dash", s.handleDash)
+	s.registerSeries()
+	if len(opts.SLOs) > 0 {
+		s.metrics.sloJSON = func() []byte { return s.sloDoc(time.Now()) }
+		s.metrics.sloProm = s.writeSLOProm
+	}
 	if opts.Pprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -172,13 +236,29 @@ func New(opts Options) *Server {
 // access logging).
 func (s *Server) Handler() http.Handler { return s.withObs(s.mux) }
 
+// requestSpanLimit bounds a single request's locally retained span
+// tree: enough for any realistic sweep's span set to render in an
+// exemplar, small enough that a pathological request cannot hold
+// megabytes hostage. Spans past the limit still tee into the ring.
+const requestSpanLimit = 512
+
+// slowMinSamples is how much traffic an endpoint must have seen
+// before its rolling p99 is trusted as a tail-sampling threshold; the
+// first requests of a cold endpoint are not outliers, just cold.
+const slowMinSamples = 32
+
 // withObs is the outermost middleware. It assigns every request a
 // correlation ID — honoring a well-formed client X-Request-ID,
 // generating one otherwise — echoes it on the response, threads the
 // engine instruments (and the configured logger) into the request
 // context so the worker pools underneath record queue-wait and
-// evaluation time, and emits one structured access-log line per
-// request when logging is configured.
+// evaluation time, opens the request's root span on a per-request
+// tracer that tees every completed span into the flight-recorder
+// ring, applies the tail-based exemplar policy, and emits one
+// wide-event access-log line per request when logging is configured —
+// every dimension known at completion (endpoint, status, duration,
+// response bytes, response-memo outcome, canonical-key hash, request
+// ID) on a single line.
 func (s *Server) withObs(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		id := r.Header.Get("X-Request-ID")
@@ -192,21 +272,90 @@ func (s *Server) withObs(next http.Handler) http.Handler {
 		if s.opts.Logger != nil {
 			ctx = obs.WithLogger(ctx, s.opts.Logger)
 		}
+		ri := &reqInfo{}
+		ctx = withReqInfo(ctx, ri)
+		var tracer *obs.Tracer
+		var span *obs.Span
+		if s.ring != nil {
+			tracer = obs.NewRequestTracer(s.ring, requestSpanLimit)
+			ctx = obs.WithTracer(ctx, tracer)
+			ctx, span = obs.StartSpan(ctx, "request")
+			span.SetArg("path", r.URL.Path)
+			span.SetArg("request_id", id)
+		}
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
 		defer func() {
+			dur := time.Since(start)
+			span.SetArg("status", sw.status)
+			span.End()
+			if tracer != nil {
+				s.captureSlow(ri, id, tracer, start, dur)
+			}
 			if s.opts.Logger != nil {
-				s.opts.Logger.Info("request",
+				kv := []any{
 					"method", r.Method,
 					"path", r.URL.Path,
 					"status", sw.status,
-					"duration_us", time.Since(start).Microseconds(),
+					"duration_us", dur.Microseconds(),
+					"bytes", sw.bytes,
 					"request_id", id,
-				)
+				}
+				if ri.endpoint != "" {
+					kv = append(kv, "endpoint", ri.endpoint)
+				}
+				if ri.cache != "" {
+					kv = append(kv, "cache", ri.cache)
+				}
+				if ri.key != "" {
+					kv = append(kv, "key", ri.key)
+				}
+				s.opts.Logger.Info("request", kv...)
 			}
 		}()
 		next.ServeHTTP(sw, r.WithContext(ctx))
 	})
+}
+
+// captureSlow applies the tail-based exemplar policy after a request
+// completes: once the endpoint's duration histogram holds enough
+// samples for a meaningful p99, a request slower than SlowFactor ×
+// that rolling p99 pins its full span tree into the exemplar store.
+// The histogram already includes this request (instrument's deferred
+// Observe runs before this outer defer), so the very request that
+// moves the tail is judged against a tail that has seen it.
+func (s *Server) captureSlow(ri *reqInfo, id string, tracer *obs.Tracer, start time.Time, dur time.Duration) {
+	if s.exemplars == nil || ri.endpoint == "" {
+		return
+	}
+	h := s.metrics.duration(ri.endpoint)
+	if h.Count() < slowMinSamples {
+		return
+	}
+	p99 := h.Quantile(0.99)
+	threshold := time.Duration(float64(p99) * s.opts.SlowFactor)
+	if p99 <= 0 || dur <= threshold {
+		return
+	}
+	s.exemplars.Add(obs.Exemplar{
+		Endpoint:    ri.endpoint,
+		RequestID:   id,
+		Key:         ri.key,
+		Time:        start,
+		DurationUS:  dur.Microseconds(),
+		P99US:       p99.Microseconds(),
+		ThresholdUS: threshold.Microseconds(),
+		Spans:       tracer.JSON(),
+	})
+	if s.opts.Logger != nil {
+		s.opts.Logger.Warn("slow request pinned",
+			"endpoint", ri.endpoint,
+			"duration_us", dur.Microseconds(),
+			"p99_us", p99.Microseconds(),
+			"threshold_us", threshold.Microseconds(),
+			"request_id", id,
+		)
+	}
 }
 
 // CacheHits returns the memoization hit count (for tests and ops).
